@@ -1,0 +1,29 @@
+"""Figure 1: aggregate throughput with threshold-based buffer management.
+
+Paper shape: the work-conserving FIFO with no management reaches ~90%
+utilisation with barely 500 KB of buffer, while both threshold schemes
+need several times more buffer to match it.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure1
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure1(benchmark, publish):
+    figure = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    publish("figure01", format_figure(figure, chart=True))
+
+    no_mgmt = series_means(figure, Scheme.FIFO_NONE.value)
+    fifo_thresh = series_means(figure, Scheme.FIFO_THRESHOLD.value)
+    wfq_thresh = series_means(figure, Scheme.WFQ_THRESHOLD.value)
+
+    # No-management FIFO is near full utilisation already at 500 KB.
+    assert no_mgmt[0] > 90.0
+    # Threshold schemes start lower: buffer is the price of guarantees.
+    assert fifo_thresh[0] < no_mgmt[0]
+    assert wfq_thresh[0] < no_mgmt[0]
+    # ... and recover utilisation as the buffer grows.
+    assert fifo_thresh[-1] > fifo_thresh[0]
+    assert max(fifo_thresh) > 85.0

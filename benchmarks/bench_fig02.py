@@ -1,0 +1,32 @@
+"""Figure 2: loss for conformant flows with threshold buffer management.
+
+Paper shape: without buffer management, FIFO and WFQ perform identically
+badly (aggressive flows fill the buffer and conformant flows lose
+periodically); with thresholds, losses go to ~0 over the plotted range,
+WFQ needing less buffer than FIFO.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure2
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure2(benchmark, publish):
+    figure = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    publish("figure02", format_figure(figure, chart=True))
+
+    fifo_none = series_means(figure, Scheme.FIFO_NONE.value)
+    wfq_none = series_means(figure, Scheme.WFQ_NONE.value)
+    fifo_thresh = series_means(figure, Scheme.FIFO_THRESHOLD.value)
+    wfq_thresh = series_means(figure, Scheme.WFQ_THRESHOLD.value)
+
+    # Threshold schemes protect conformant flows across the whole range.
+    assert max(fifo_thresh) < 0.5
+    assert max(wfq_thresh) < 0.5
+    # No-management schemes lose where the buffer cannot absorb the
+    # overload (the smallest buffers; in short fast-mode runs the largest
+    # buffers may soak up the whole measurement window without dropping).
+    assert fifo_none[0] > max(fifo_thresh)
+    assert fifo_none[0] > 0.0
+    assert wfq_none[0] > 0.0

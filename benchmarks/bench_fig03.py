@@ -1,0 +1,31 @@
+"""Figure 3: throughput for non-conformant flows 6 and 8 (thresholds).
+
+Paper shape: flows 6 and 8 reserve 0.4 vs 2.0 Mb/s and both offer far
+more.  WFQ with thresholds splits the excess roughly in proportion to the
+reservations; FIFO-based schemes do not consistently achieve that split.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure3
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure3(benchmark, publish):
+    figure = benchmark.pedantic(figure3, rounds=1, iterations=1)
+    publish("figure03", format_figure(figure, chart=True))
+
+    wfq6 = series_means(figure, f"{Scheme.WFQ_THRESHOLD.value} - flow 6")
+    wfq8 = series_means(figure, f"{Scheme.WFQ_THRESHOLD.value} - flow 8")
+    none6 = series_means(figure, f"{Scheme.FIFO_NONE.value} - flow 6")
+    none8 = series_means(figure, f"{Scheme.FIFO_NONE.value} - flow 8")
+
+    # Flow 8 (5x the reservation of flow 6) gets a substantially larger
+    # share under WFQ + thresholds at every buffer size.
+    for small, large in zip(wfq6, wfq8):
+        assert large > 2.0 * small
+    # Both flows always exceed their reserved floors (0.4 / 2.0 Mb/s).
+    assert min(wfq6) > 0.4
+    assert min(wfq8) > 2.0
+    # Without management the split simply follows offered load.
+    assert none8[-1] > none6[-1]

@@ -1,0 +1,28 @@
+"""Figure 4: aggregate throughput with buffer sharing (H = 2 MB).
+
+Paper shape: allowing active flows to borrow unused buffer space (holes)
+recovers much of the utilisation lost to fixed partitioning, closing in
+on the no-management baseline once the buffer exceeds the headroom.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure4
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure4(benchmark, publish):
+    figure = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    publish("figure04", format_figure(figure, chart=True))
+
+    no_mgmt = series_means(figure, Scheme.FIFO_NONE.value)
+    fifo_share = series_means(figure, Scheme.FIFO_SHARING.value)
+    wfq_share = series_means(figure, Scheme.WFQ_SHARING.value)
+
+    assert no_mgmt[0] > 90.0
+    # With B well above the 2 MB headroom, sharing approaches the
+    # no-management utilisation (within a few points).
+    assert fifo_share[-1] > no_mgmt[-1] - 7.0
+    assert wfq_share[-1] > no_mgmt[-1] - 7.0
+    # Sharing improves with buffer size.
+    assert fifo_share[-1] >= fifo_share[0]

@@ -1,0 +1,26 @@
+"""Figure 5: loss for conformant flows with buffer sharing.
+
+Paper shape: the utilisation gains of Figure 4 do not come at the cost of
+protection — conformant flows still see (near) zero loss, because the
+headroom keeps space in reserve for flows within their thresholds.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure5
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure5(benchmark, publish):
+    figure = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    publish("figure05", format_figure(figure, chart=True))
+
+    fifo_share = series_means(figure, Scheme.FIFO_SHARING.value)
+    wfq_share = series_means(figure, Scheme.WFQ_SHARING.value)
+    fifo_none = series_means(figure, Scheme.FIFO_NONE.value)
+
+    # "this increase in throughput does not lead to worse protection"
+    assert max(fifo_share) < 1.0
+    assert max(wfq_share) < 1.0
+    # The no-management baseline loses where the buffer is tight.
+    assert fifo_none[0] > max(fifo_share)

@@ -1,0 +1,28 @@
+"""Figure 7: effect of the headroom H on conformant-flow loss (B = 1 MB).
+
+Paper shape: "Increasing the headroom has the benefit of protecting
+conformant flows, while reducing the shared buffer space available for
+non-conformant flows" — loss decreases as H grows.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure7
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure7(benchmark, publish):
+    figure = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    publish("figure07", format_figure(figure, chart=True))
+
+    fifo = series_means(figure, Scheme.FIFO_SHARING.value)
+    wfq = series_means(figure, Scheme.WFQ_SHARING.value)
+
+    # Zero headroom (full sharing) exposes conformant flows to at least
+    # as much loss as maximal headroom (no sharing, i.e. fixed partition).
+    assert fifo[0] >= fifo[-1] - 0.05
+    assert wfq[0] >= wfq[-1] - 0.05
+    # With H == B the scheme degenerates to fixed partitioning, which the
+    # Figure-2 experiments showed protects conformant flows at 1 MB.
+    assert fifo[-1] < 0.5
+    assert wfq[-1] < 0.5

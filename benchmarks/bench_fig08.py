@@ -1,0 +1,23 @@
+"""Figure 8: hybrid system (Case 1), aggregate throughput.
+
+Paper shape: the 3-queue hybrid with per-queue buffer sharing performs
+very close to WFQ with buffer sharing across the buffer range.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure8
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure8(benchmark, publish):
+    figure = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    publish("figure08", format_figure(figure, chart=True))
+
+    hybrid = series_means(figure, Scheme.HYBRID_SHARING.value)
+    wfq = series_means(figure, Scheme.WFQ_SHARING.value)
+
+    # Hybrid tracks WFQ + sharing within a few utilisation points.
+    for hybrid_point, wfq_point in zip(hybrid, wfq):
+        assert abs(hybrid_point - wfq_point) < 8.0
+    assert max(hybrid) > 80.0

@@ -1,0 +1,21 @@
+"""Figure 9: hybrid system (Case 1), loss for conformant flows.
+
+Paper shape: the hybrid protects conformant flows as well as WFQ with
+sharing — near-zero loss across the buffer range.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure9
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure9(benchmark, publish):
+    figure = benchmark.pedantic(figure9, rounds=1, iterations=1)
+    publish("figure09", format_figure(figure, chart=True))
+
+    hybrid = series_means(figure, Scheme.HYBRID_SHARING.value)
+    wfq = series_means(figure, Scheme.WFQ_SHARING.value)
+
+    assert max(hybrid) < 1.0
+    assert max(wfq) < 1.0

@@ -1,0 +1,28 @@
+"""Figure 10: hybrid system (Case 1), flows 6 / 8 throughput.
+
+Paper shape: the hybrid's sharing of excess bandwidth between the two
+non-conformant flows stays close to WFQ-with-sharing behaviour; flow 8
+(5x reservation of flow 6) receives the larger share.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure10
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure10(benchmark, publish):
+    figure = benchmark.pedantic(figure10, rounds=1, iterations=1)
+    publish("figure10", format_figure(figure, chart=True))
+
+    hybrid6 = series_means(figure, f"{Scheme.HYBRID_SHARING.value} - flow 6")
+    hybrid8 = series_means(figure, f"{Scheme.HYBRID_SHARING.value} - flow 8")
+    wfq8 = series_means(figure, f"{Scheme.WFQ_SHARING.value} - flow 8")
+
+    for small, large in zip(hybrid6, hybrid8):
+        assert large > small
+    # Hybrid's flow-8 throughput within 35% of WFQ's at the largest buffer.
+    assert abs(hybrid8[-1] - wfq8[-1]) / wfq8[-1] < 0.35
+    # Reserved floors always met.
+    assert min(hybrid6) > 0.4
+    assert min(hybrid8) > 2.0

@@ -1,0 +1,22 @@
+"""Figure 11: hybrid system (Case 2, 30 flows), aggregate throughput.
+
+Paper shape: "the performance of the hybrid system remains close to that
+of WFQ with buffer sharing, even for this larger number of flows."
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure11
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure11(benchmark, publish):
+    figure = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    publish("figure11", format_figure(figure, chart=True))
+
+    hybrid = series_means(figure, Scheme.HYBRID_SHARING.value)
+    wfq = series_means(figure, Scheme.WFQ_SHARING.value)
+
+    for hybrid_point, wfq_point in zip(hybrid, wfq):
+        assert abs(hybrid_point - wfq_point) < 8.0
+    assert max(hybrid) > 75.0

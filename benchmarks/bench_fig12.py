@@ -1,0 +1,27 @@
+"""Figure 12: hybrid system (Case 2), loss for conformant and moderately
+conformant flows.
+
+Paper shape: fully conformant flows (0-9) see near-zero loss under the
+hybrid; moderately non-conformant flows (10-19), whose traffic matches
+the profile only on average, see small but non-trivially larger loss.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure12
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure12(benchmark, publish):
+    figure = benchmark.pedantic(figure12, rounds=1, iterations=1)
+    publish("figure12", format_figure(figure, chart=True))
+
+    hybrid_conf = series_means(figure, f"{Scheme.HYBRID_SHARING.value} - conformant")
+    hybrid_mod = series_means(figure, f"{Scheme.HYBRID_SHARING.value} - moderate")
+    wfq_conf = series_means(figure, f"{Scheme.WFQ_SHARING.value} - conformant")
+
+    # Conformant flows protected by the hybrid and by WFQ.
+    assert max(hybrid_conf) < 1.0
+    assert max(wfq_conf) < 1.0
+    # Moderately non-conformant flows can lose more than conformant ones.
+    assert max(hybrid_mod) >= max(hybrid_conf)

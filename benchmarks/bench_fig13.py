@@ -1,0 +1,26 @@
+"""Figure 13: hybrid system (Case 2), aggressive-flow throughput.
+
+Paper shape: the aggressive class (flows 20-29, offering 8x their
+aggregate 3 Mb/s reservation) receives its floor plus a bounded share of
+the excess, and the hybrid's allocation tracks WFQ with sharing.
+"""
+
+from benchmarks.conftest import series_means
+from repro.experiments.figures import figure13
+from repro.experiments.report import format_figure
+from repro.experiments.schemes import Scheme
+
+
+def test_figure13(benchmark, publish):
+    figure = benchmark.pedantic(figure13, rounds=1, iterations=1)
+    publish("figure13", format_figure(figure, chart=True))
+
+    hybrid = series_means(figure, f"{Scheme.HYBRID_SHARING.value} - aggressive flows")
+    wfq = series_means(figure, f"{Scheme.WFQ_SHARING.value} - aggressive flows")
+
+    # The class always gets at least its reserved 3 Mb/s floor...
+    assert min(hybrid) > 3.0
+    # ... but cannot capture its full 24 Mb/s offered load.
+    assert max(hybrid) < 24.0
+    # Hybrid tracks WFQ with sharing within 35% at the largest buffer.
+    assert abs(hybrid[-1] - wfq[-1]) / wfq[-1] < 0.35

@@ -1,0 +1,106 @@
+"""Micro-benchmarks: per-packet cost of schedulers and buffer managers.
+
+The paper's scalability argument is about per-packet work: buffer
+admission is O(1) while sorted scheduling grows with the number of
+flows/queues.  These benchmarks measure exactly that — enqueue+dequeue
+(or admit+depart) cycles per second for each component at a realistic
+flow count.
+"""
+
+import numpy as np
+
+from repro.core.dynamic_threshold import DynamicThresholdManager
+from repro.core.fixed_threshold import FixedThresholdManager
+from repro.core.shared_headroom import SharedHeadroomManager
+from repro.core.tail_drop import TailDropManager
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.rpq import RPQScheduler
+from repro.sched.scfq import SCFQScheduler
+from repro.sched.wfq import WFQScheduler
+from repro.sim.packet import Packet
+
+N_FLOWS = 64
+N_PACKETS = 5_000
+
+
+def _packets():
+    rng = np.random.default_rng(0)
+    flows = rng.integers(0, N_FLOWS, size=N_PACKETS)
+    return [Packet(int(flow), 500.0, 0.0) for flow in flows]
+
+
+def _drive_scheduler(scheduler):
+    packets = _packets()
+    for packet in packets:
+        scheduler.enqueue(packet)
+    while scheduler.dequeue() is not None:
+        pass
+    return len(packets)
+
+
+def test_fifo_scheduler_cycle(benchmark):
+    count = benchmark(lambda: _drive_scheduler(FIFOScheduler()))
+    assert count == N_PACKETS
+
+
+def test_wfq_scheduler_cycle(benchmark):
+    weights = {flow: 1.0 + flow for flow in range(N_FLOWS)}
+
+    def run():
+        clock = [0.0]
+        return _drive_scheduler(WFQScheduler(lambda: clock[0], 1e6, weights))
+
+    assert benchmark(run) == N_PACKETS
+
+
+def test_scfq_scheduler_cycle(benchmark):
+    weights = {flow: 1.0 + flow for flow in range(N_FLOWS)}
+    assert benchmark(lambda: _drive_scheduler(SCFQScheduler(weights))) == N_PACKETS
+
+
+def test_rpq_scheduler_cycle(benchmark):
+    class_of = {flow: flow % 8 for flow in range(N_FLOWS)}
+
+    def run():
+        clock = [0.0]
+        return _drive_scheduler(RPQScheduler(lambda: clock[0], 0.01, class_of))
+
+    assert benchmark(run) == N_PACKETS
+
+
+def _drive_manager(manager):
+    packets = _packets()
+    admitted = []
+    for packet in packets:
+        if manager.try_admit(packet.flow_id, packet.size):
+            admitted.append(packet)
+        if len(admitted) > 32:
+            gone = admitted.pop(0)
+            manager.on_depart(gone.flow_id, gone.size)
+    for packet in admitted:
+        manager.on_depart(packet.flow_id, packet.size)
+    return len(packets)
+
+
+def test_tail_drop_manager_cycle(benchmark):
+    assert benchmark(lambda: _drive_manager(TailDropManager(1e6))) == N_PACKETS
+
+
+def test_fixed_threshold_manager_cycle(benchmark):
+    thresholds = {flow: 50_000.0 for flow in range(N_FLOWS)}
+    assert benchmark(
+        lambda: _drive_manager(FixedThresholdManager(1e6, thresholds))
+    ) == N_PACKETS
+
+
+def test_shared_headroom_manager_cycle(benchmark):
+    thresholds = {flow: 50_000.0 for flow in range(N_FLOWS)}
+    assert benchmark(
+        lambda: _drive_manager(SharedHeadroomManager(1e6, thresholds, 100_000.0))
+    ) == N_PACKETS
+
+
+def test_dynamic_threshold_manager_cycle(benchmark):
+    assert benchmark(
+        lambda: _drive_manager(DynamicThresholdManager(1e6))
+    ) == N_PACKETS

@@ -1,0 +1,55 @@
+"""Micro-benchmarks: discrete-event engine throughput.
+
+The simulator's event loop is the floor under every experiment's wall
+time; these benchmarks track its raw throughput so performance
+regressions in the core are caught independently of the QoS results.
+"""
+
+from repro.sim.engine import Simulator
+
+
+def _run_event_chain(n_events: int) -> int:
+    sim = Simulator()
+
+    def hop():
+        if sim.events_processed < n_events:
+            sim.schedule(0.001, hop)
+
+    sim.schedule(0.0, hop)
+    sim.run()
+    return sim.events_processed
+
+
+def _run_preloaded(n_events: int) -> int:
+    sim = Simulator()
+    for i in range(n_events):
+        sim.schedule(i * 0.001, lambda: None)
+    sim.run()
+    return sim.events_processed
+
+
+def test_engine_event_chain(benchmark):
+    """Sequential self-scheduling events (the common simulation shape)."""
+    processed = benchmark(_run_event_chain, 20_000)
+    assert processed >= 20_000
+
+
+def test_engine_preloaded_heap(benchmark):
+    """Large pre-populated heap: stresses heap push/pop ordering."""
+    processed = benchmark(_run_preloaded, 20_000)
+    assert processed == 20_000
+
+
+def test_engine_cancellation_overhead(benchmark):
+    """Half the events cancelled: lazy deletion must stay cheap."""
+
+    def run() -> int:
+        sim = Simulator()
+        events = [sim.schedule(i * 0.001, lambda: None) for i in range(20_000)]
+        for event in events[::2]:
+            event.cancel()
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run)
+    assert processed == 10_000

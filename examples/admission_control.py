@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Call admission: how many SLAs fit on a link? (Section 2.3)
+
+The same flow population can be *bandwidth-limited* under WFQ but
+*buffer-limited* under FIFO-with-thresholds, because eq. (9) inflates the
+FIFO buffer requirement by 1/(1-u).  This example admits identical flows
+one at a time under both admission controllers across several buffer
+sizes, reporting how many fit and why the first rejection happened.
+
+Run:  python examples/admission_control.py
+"""
+
+from repro import FIFOAdmission, WFQAdmission
+from repro.experiments.report import format_table
+from repro.units import kbytes, mbps, mbytes, to_mbytes
+
+LINK = mbps(48.0)
+FLOW = (kbytes(50.0), mbps(2.0))  # a Table-1-style (sigma, rho) reservation
+
+
+def fill(control) -> tuple[int, str]:
+    """Admit FLOW repeatedly; return (count, reason of first rejection)."""
+    while True:
+        decision = control.admit(*FLOW)
+        if not decision:
+            return control.admitted_count, decision.reason.value
+
+
+def main() -> None:
+    print("Admitting identical (50 KB, 2 Mb/s) reservations on a 48 Mb/s link\n")
+    rows = []
+    for buffer_mb in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0):
+        buffer_size = mbytes(buffer_mb)
+        wfq_count, wfq_reason = fill(WFQAdmission(LINK, buffer_size))
+        fifo_count, fifo_reason = fill(FIFOAdmission(LINK, buffer_size))
+        rows.append([
+            f"{to_mbytes(buffer_size):.2f}",
+            f"{wfq_count} ({wfq_reason})",
+            f"{fifo_count} ({fifo_reason})",
+        ])
+    print(format_table(
+        ["buffer (MB)", "WFQ admits", "FIFO+thresholds admits"], rows
+    ))
+    print(
+        "\nWith small buffers FIFO admission is buffer-limited well before"
+        "\nthe link fills; with enough buffer both become bandwidth-limited"
+        "\nat 24 flows (24 x 2 Mb/s = 48 Mb/s) — the cost of simplicity is"
+        "\nmemory, exactly the trade-off of eq. (10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fair access to excess bandwidth via buffer sharing (Section 3.3).
+
+Flows 6 and 8 of the Table-1 workload reserve 0.4 and 2.0 Mb/s but offer
+4 and 16 Mb/s.  How the ~15 Mb/s of unreserved capacity is split between
+them depends on the buffer policy:
+
+* fixed partition: the split is at the mercy of FIFO order;
+* headroom/holes sharing: FIFO mimics WFQ's proportional split;
+* WFQ: splits in proportion to reservations by construction.
+
+This example sweeps the headroom H at a fixed 3 MB buffer to show the
+knob the paper highlights: H trades conformant-flow protection against
+shared space for excess traffic.
+
+Run:  python examples/excess_sharing.py
+"""
+
+from repro import Scheme, run_scenario, table1_flows
+from repro.experiments import TABLE1_CONFORMANT
+from repro.experiments.report import format_table
+from repro.units import mbytes, to_mbps
+
+BUFFER = mbytes(3.0)
+SIM_TIME = 8.0
+
+
+def main() -> None:
+    flows = table1_flows()
+
+    print("Excess-bandwidth split between flows 6 (0.4 Mb/s reserved) and "
+          "8 (2.0 Mb/s reserved), B = 3 MB\n")
+
+    rows = []
+    for label, scheme, headroom in (
+        ("FIFO fixed partition", Scheme.FIFO_THRESHOLD, 0.0),
+        ("FIFO sharing H=0", Scheme.FIFO_SHARING, 0.0),
+        ("FIFO sharing H=1MB", Scheme.FIFO_SHARING, mbytes(1.0)),
+        ("FIFO sharing H=2MB", Scheme.FIFO_SHARING, mbytes(2.0)),
+        ("WFQ sharing H=2MB", Scheme.WFQ_SHARING, mbytes(2.0)),
+    ):
+        result = run_scenario(
+            flows, scheme, BUFFER, sim_time=SIM_TIME, seed=2, headroom=headroom
+        )
+        rate6 = to_mbps(result.throughput([6]))
+        rate8 = to_mbps(result.throughput([8]))
+        rows.append([
+            label,
+            f"{rate6:.2f}",
+            f"{rate8:.2f}",
+            f"{rate8 / max(rate6, 1e-9):.1f}",
+            f"{100 * result.loss_fraction(TABLE1_CONFORMANT):.2f}",
+        ])
+    print(format_table(
+        ["policy", "flow 6 (Mb/s)", "flow 8 (Mb/s)",
+         "ratio 8/6", "conformant loss (%)"],
+        rows,
+    ))
+    print(
+        "\nReservation ratio is 5.0; WFQ realises roughly that split, and"
+        "\nFIFO-with-sharing approaches it — while small headroom values"
+        "\nshow the protection/sharing trade-off of Figure 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Scaling QoS to many flows: the Section-4 hybrid architecture.
+
+A backbone router cannot afford per-flow WFQ state for thousands of
+flows.  The hybrid keeps a *fixed*, small number of WFQ-scheduled FIFO
+queues and relies on buffer thresholds inside each queue.  This example
+
+1. uses the analysis (Proposition 3 and eq. 17-19) to size the queues
+   and quantify the buffer saving of good groupings, and
+2. simulates the 30-flow Case-2 workload to show the hybrid matching
+   per-flow WFQ on throughput, protection and excess sharing while
+   sorting only 3 queues.
+
+Run:  python examples/hybrid_scaling.py
+"""
+
+from repro import (
+    QueueRequirement,
+    Scheme,
+    buffer_savings,
+    hybrid_total_buffer,
+    optimal_alphas,
+    queue_rates,
+    run_scenario,
+    table2_flows,
+)
+from repro.analysis.buffer_sizing import fifo_min_buffer
+from repro.experiments import (
+    CASE2_GROUPS,
+    TABLE2_AGGRESSIVE,
+    TABLE2_CONFORMANT,
+)
+from repro.experiments.report import format_table
+from repro.units import mbytes, to_kbytes, to_mbps
+
+LINK = 6_000_000.0  # 48 Mbit/s in bytes/s
+
+
+def analysis_part(flows) -> None:
+    requirements = []
+    for group in CASE2_GROUPS:
+        requirements.append(QueueRequirement(
+            sigma_hat=sum(flows[i].bucket for i in group),
+            rho_hat=sum(flows[i].token_rate for i in group),
+        ))
+    alphas = optimal_alphas(requirements)
+    rates = queue_rates(requirements, LINK)
+    sigmas = [flow.bucket for flow in flows]
+    rhos = [flow.token_rate for flow in flows]
+
+    print("Analytical sizing (Proposition 3, eqs. 16-19):")
+    rows = []
+    for i, (req, alpha, rate) in enumerate(zip(requirements, alphas, rates)):
+        rows.append([
+            f"queue {i}",
+            f"{to_kbytes(req.sigma_hat):.0f}",
+            f"{to_mbps(req.rho_hat):.1f}",
+            f"{alpha:.3f}",
+            f"{to_mbps(rate):.1f}",
+        ])
+    print(format_table(
+        ["", "sigma_hat (KB)", "rho_hat (Mb/s)", "alpha_i", "R_i (Mb/s)"], rows
+    ))
+    single = fifo_min_buffer(sigmas, rhos, LINK)
+    hybrid = hybrid_total_buffer(requirements, LINK)
+    saving = buffer_savings(requirements, LINK)
+    print(f"\n  lossless buffer, single FIFO: {to_kbytes(single):.0f} KB")
+    print(f"  lossless buffer, 3-queue hybrid: {to_kbytes(hybrid):.0f} KB "
+          f"(saves {to_kbytes(saving):.0f} KB, eq. 17)\n")
+
+
+def simulation_part(flows) -> None:
+    print("Simulation (Case 2: 10 conformant, 10 moderate, 10 aggressive"
+          " flows, B = 2 MB):")
+    rows = []
+    for label, scheme in (
+        ("3-queue hybrid + sharing", Scheme.HYBRID_SHARING),
+        ("per-flow WFQ + sharing", Scheme.WFQ_SHARING),
+        ("single FIFO + sharing", Scheme.FIFO_SHARING),
+    ):
+        result = run_scenario(
+            flows, scheme, mbytes(2.0), sim_time=8.0, seed=4,
+            groups=CASE2_GROUPS if scheme.is_hybrid else None,
+        )
+        rows.append([
+            label,
+            f"{100 * result.utilization():.1f}",
+            f"{100 * result.loss_fraction(TABLE2_CONFORMANT):.2f}",
+            f"{to_mbps(result.throughput(TABLE2_AGGRESSIVE)):.1f}",
+        ])
+    print(format_table(
+        ["architecture", "utilisation (%)", "conformant loss (%)",
+         "aggressive class (Mb/s)"],
+        rows,
+    ))
+    print(
+        "\nThe hybrid needs a sorted structure of size 3 instead of 30 —"
+        "\nthe paper's scalability argument — at nearly WFQ-level QoS."
+    )
+
+
+def main() -> None:
+    flows = table2_flows()
+    analysis_part(flows)
+    simulation_part(flows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""End-to-end guarantees across a multi-hop backbone.
+
+The paper provisions one output link; a real SLA spans a *path*.  This
+example builds a 3-hop tandem where every hop is independently congested
+by greedy cross-traffic, and shows that running the paper's threshold
+rule at each hop — with the burst term inflated per hop by the
+network-calculus bound sigma + rho * sum(D_upstream) — carries a
+reserved flow across the backbone with zero loss, while tail-drop hops
+starve it.
+
+Run:  python examples/multihop_backbone.py
+"""
+
+import numpy as np
+
+from repro import FixedThresholdManager, Simulator, StatsCollector, TailDropManager
+from repro.core.thresholds import flow_threshold
+from repro.experiments.report import format_table
+from repro.net import build_tandem, per_hop_sigma
+from repro.traffic import GreedySource, LeakyBucketShaper, OnOffSource
+from repro.units import mbps, to_mbps
+
+LINK = mbps(8.0)
+HOP_BUFFER = 60_000.0
+HOPS = 3
+RHO = mbps(2.0)        # the SLA: 2 Mb/s end to end
+SIGMA = 10_000.0
+PKT = 500.0
+SIM_TIME = 20.0
+
+
+def run(with_thresholds: bool):
+    sim = Simulator()
+    hop_delay = HOP_BUFFER / LINK
+    sigmas = per_hop_sigma(SIGMA, RHO, [hop_delay] * HOPS)
+    collectors = [StatsCollector() for _ in range(HOPS)]
+
+    def factory_for(hop):
+        def factory():
+            if not with_thresholds:
+                return TailDropManager(HOP_BUFFER)
+            threshold = flow_threshold(sigmas[hop], RHO, HOP_BUFFER, LINK) + PKT
+            return FixedThresholdManager(
+                HOP_BUFFER, {1: threshold, 100 + hop: HOP_BUFFER - threshold}
+            )
+        return factory
+
+    net, names = build_tandem(
+        sim, [LINK] * HOPS, [factory_for(h) for h in range(HOPS)],
+        collectors=collectors,
+    )
+    net.set_route(1, names)
+    for hop in range(HOPS):
+        cross_id = 100 + hop
+        net.set_route(cross_id, [names[hop], names[hop + 1]])
+        GreedySource(sim, cross_id, LINK, net.entry(cross_id),
+                     packet_size=PKT, until=SIM_TIME)
+    shaper = LeakyBucketShaper(sim, SIGMA, RHO, net.entry(1))
+    OnOffSource(
+        sim, 1, peak_rate=mbps(6.0), avg_rate=RHO, mean_burst=SIGMA,
+        sink=shaper, rng=np.random.default_rng(7), packet_size=PKT,
+        until=SIM_TIME,
+    )
+    sim.run(until=SIM_TIME + 5.0)
+    drops = sum(c.flows[1].dropped_packets for c in collectors if 1 in c.flows)
+    delivered = to_mbps(net.sink.bytes.get(1, 0.0) / SIM_TIME)
+    return drops, delivered, sigmas
+
+
+def main() -> None:
+    print(f"A {to_mbps(RHO):.0f} Mb/s SLA across {HOPS} congested "
+          f"{to_mbps(LINK):.0f} Mb/s hops (greedy cross-traffic at each)\n")
+    rows = []
+    for label, flag in (("tail drop at each hop", False),
+                        ("per-hop thresholds (paper)", True)):
+        drops, delivered, sigmas = run(flag)
+        rows.append([label, f"{delivered:.2f}", str(drops)])
+    print(format_table(
+        ["per-hop policy", "delivered (Mb/s)", "SLA-flow drops"], rows
+    ))
+    print("\nPer-hop burst budgets (network-calculus inflation):",
+          ", ".join(f"hop {i}: {s / 1000:.1f} KB" for i, s in enumerate(sigmas)))
+    print("One admission comparison per packet per hop — no per-flow "
+          "scheduling state anywhere on the path.")
+
+
+if __name__ == "__main__":
+    main()

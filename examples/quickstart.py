@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: rate guarantees from buffer management alone.
+
+Builds the paper's Table-1 scenario — nine on-off flows (six conformant,
+three aggressive) sharing a 48 Mbit/s FIFO link — and compares plain tail
+drop against the paper's threshold rule ``T_i = sigma_i + rho_i B / R``.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Scheme, run_scenario, table1_flows
+from repro.experiments import TABLE1_CONFORMANT
+from repro.experiments.report import format_table
+from repro.units import mbytes, to_mbps
+
+
+def main() -> None:
+    flows = table1_flows()
+    buffer_size = mbytes(1.0)
+
+    print("Table-1 workload on a 48 Mbit/s FIFO link, B = 1 MB")
+    print(f"  {len(flows)} flows; reserved total "
+          f"{to_mbps(sum(f.token_rate for f in flows)):.1f} Mb/s; offered "
+          f"{to_mbps(sum(f.avg_rate for f in flows)):.1f} Mb/s (overload)\n")
+
+    rows = []
+    for scheme in (Scheme.FIFO_NONE, Scheme.FIFO_THRESHOLD, Scheme.FIFO_SHARING):
+        # A 0.25 MB headroom leaves most of the buffer shareable; the
+        # paper's 2 MB default would disable sharing entirely at B = 1 MB.
+        result = run_scenario(
+            flows, scheme, buffer_size, sim_time=8.0, seed=1,
+            headroom=mbytes(0.25),
+        )
+        rows.append([
+            scheme.value,
+            f"{100 * result.utilization():.1f}",
+            f"{100 * result.loss_fraction(TABLE1_CONFORMANT):.2f}",
+            f"{to_mbps(result.throughput([8])):.2f}",
+        ])
+    print(format_table(
+        ["scheme", "utilisation (%)", "conformant loss (%)", "flow-8 rate (Mb/s)"],
+        rows,
+    ))
+    print(
+        "\nTake-away: with no management the aggressive flows fill the buffer"
+        "\nand conformant flows lose packets; the constant-time threshold rule"
+        "\neliminates that loss, and buffer sharing wins back the utilisation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Command-line entry point: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro list                 # what can be reproduced
+    python -m repro figure1             # run one figure (fast mode)
+    python -m repro figure4 --full      # paper-faithful sizing
+    python -m repro all --out results/  # everything, archived to files
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import format_figure
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce figures from 'Scalable QoS Provision Through "
+            "Buffer Management' (SIGCOMM 1998)."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        help=(
+            "figure to run (figure1..figure13), 'all', 'list', or 'run' "
+            "with --spec for declarative scenarios"
+        ),
+    )
+    parser.add_argument(
+        "--spec",
+        type=pathlib.Path,
+        default=None,
+        help="JSON scenario spec file (used with the 'run' target)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-faithful sweep sizing (slow); default is fast mode",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to archive rendered figures into",
+    )
+    return parser
+
+
+def run_target(name: str, fast: bool, out: pathlib.Path | None) -> None:
+    figure = ALL_FIGURES[name](fast=fast)
+    text = format_figure(figure)
+    print(text)
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.txt").write_text(text + "\n")
+
+
+def run_spec_file(path: pathlib.Path) -> None:
+    from repro.experiments.report import format_table
+    from repro.experiments.spec import load_specs, run_spec
+
+    for spec in load_specs(path):
+        results = run_spec(spec)
+        rows = [[label, str(value)] for label, value in results.items()]
+        print(f"{spec.name} [{spec.scheme.value}, B = {spec.buffer_bytes / 1e6:g} MB]")
+        print(format_table(["metric", "mean ± 95% CI"], rows))
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.target == "run":
+        if args.spec is None:
+            print("the 'run' target requires --spec <file.json>", file=sys.stderr)
+            return 2
+        run_spec_file(args.spec)
+        return 0
+    if args.target == "list":
+        for name, fn in ALL_FIGURES.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {doc}")
+        return 0
+    if args.target == "all":
+        for name in ALL_FIGURES:
+            run_target(name, fast=not args.full, out=args.out)
+        return 0
+    if args.target not in ALL_FIGURES:
+        print(f"unknown target {args.target!r}; try 'list'", file=sys.stderr)
+        return 2
+    run_target(args.target, fast=not args.full, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""Admission control and schedulability regions (Section 2.3).
+
+A call-admission decision accepts a new flow ``(sigma, rho)`` only if both
+resources still suffice:
+
+* **WFQ** (eqs. 5-6): ``sum(rho) <= R`` and ``sum(sigma) <= B``;
+* **FIFO with thresholds** (eqs. 7-9): ``sum(rho) <= R`` and
+  ``B >= R sum(sigma) / (R - sum(rho))``.
+
+The paper distinguishes *bandwidth-limited* rejections (eq. 5/7 fails)
+from *buffer-limited* ones (eq. 6/8 fails); :class:`Decision` carries
+that classification so the trade-off between the two schemes can be
+mapped out.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AdmissionError
+
+__all__ = ["Rejection", "Decision", "AdmissionControl", "WFQAdmission", "FIFOAdmission"]
+
+
+class Rejection(enum.Enum):
+    """Why a flow was rejected."""
+
+    BANDWIDTH_LIMITED = "bandwidth-limited"
+    BUFFER_LIMITED = "buffer-limited"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of an admission test."""
+
+    admitted: bool
+    reason: Rejection | None = None
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionControl:
+    """Base class holding the admitted-flow state.
+
+    Args:
+        link_rate: ``R`` in bytes/second.
+        buffer_size: ``B`` in bytes.
+    """
+
+    def __init__(self, link_rate: float, buffer_size: float) -> None:
+        if link_rate <= 0:
+            raise AdmissionError(f"link rate must be positive, got {link_rate}")
+        if buffer_size <= 0:
+            raise AdmissionError(f"buffer size must be positive, got {buffer_size}")
+        self.link_rate = float(link_rate)
+        self.buffer_size = float(buffer_size)
+        self.rho_total = 0.0
+        self.sigma_total = 0.0
+        self.admitted_count = 0
+
+    @staticmethod
+    def _validate_flow(sigma: float, rho: float) -> None:
+        if sigma < 0:
+            raise AdmissionError(f"sigma must be non-negative, got {sigma}")
+        if rho <= 0:
+            raise AdmissionError(f"rho must be positive, got {rho}")
+
+    def check(self, sigma: float, rho: float) -> Decision:
+        """Would the flow be admitted? Does not change state."""
+        raise NotImplementedError
+
+    def admit(self, sigma: float, rho: float) -> Decision:
+        """Run the test and, on success, add the flow to the books."""
+        decision = self.check(sigma, rho)
+        if decision.admitted:
+            self.rho_total += rho
+            self.sigma_total += sigma
+            self.admitted_count += 1
+        return decision
+
+    def release(self, sigma: float, rho: float) -> None:
+        """Remove a previously admitted flow."""
+        self._validate_flow(sigma, rho)
+        if self.admitted_count == 0:
+            raise AdmissionError("no flows to release")
+        if rho > self.rho_total + 1e-9 or sigma > self.sigma_total + 1e-9:
+            raise AdmissionError("releasing more than was admitted")
+        self.rho_total = max(self.rho_total - rho, 0.0)
+        self.sigma_total = max(self.sigma_total - sigma, 0.0)
+        self.admitted_count -= 1
+
+
+class WFQAdmission(AdmissionControl):
+    """WFQ schedulability region (eqs. 5-6)."""
+
+    def check(self, sigma: float, rho: float) -> Decision:
+        self._validate_flow(sigma, rho)
+        if self.rho_total + rho > self.link_rate:
+            return Decision(False, Rejection.BANDWIDTH_LIMITED)
+        if self.sigma_total + sigma > self.buffer_size:
+            return Decision(False, Rejection.BUFFER_LIMITED)
+        return Decision(True)
+
+
+class FIFOAdmission(AdmissionControl):
+    """FIFO-with-thresholds schedulability region (eqs. 7-9)."""
+
+    def check(self, sigma: float, rho: float) -> Decision:
+        self._validate_flow(sigma, rho)
+        rho_after = self.rho_total + rho
+        sigma_after = self.sigma_total + sigma
+        if rho_after > self.link_rate:
+            return Decision(False, Rejection.BANDWIDTH_LIMITED)
+        if rho_after == self.link_rate:
+            # eq. (9) requirement is unbounded at full reservation.
+            return Decision(False, Rejection.BUFFER_LIMITED)
+        required = self.link_rate * sigma_after / (self.link_rate - rho_after)
+        if required > self.buffer_size:
+            return Decision(False, Rejection.BUFFER_LIMITED)
+        return Decision(True)

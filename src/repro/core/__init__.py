@@ -1,0 +1,48 @@
+"""Buffer management — the paper's primary contribution.
+
+The schemes here decide, in constant time per packet, whether an arriving
+packet may enter a shared buffer:
+
+* :class:`TailDropManager` — no management (benchmark);
+* :class:`FixedThresholdManager` — per-flow thresholds
+  ``sigma_i + rho_i B / R`` providing rate guarantees on a FIFO link
+  (Sections 2, 3.2);
+* :class:`SharedHeadroomManager` — thresholds plus headroom/holes sharing
+  of unused space (Section 3.3);
+* :class:`DynamicThresholdManager`, :class:`REDManager`,
+  :class:`FREDManager` — related-work baselines;
+* :class:`HybridBufferManager` — per-class composition for the Section-4
+  hybrid architecture.
+"""
+
+from repro.core.adaptive import AdaptiveSharingManager
+from repro.core.dynamic_threshold import DynamicThresholdManager
+from repro.core.fixed_threshold import FixedThresholdManager
+from repro.core.fred import FREDManager
+from repro.core.hybrid import HybridBufferManager
+from repro.core.occupancy import BufferManager
+from repro.core.red import REDManager
+from repro.core.shared_headroom import SharedHeadroomManager
+from repro.core.tail_drop import TailDropManager
+from repro.core.thresholds import (
+    compute_thresholds,
+    flow_threshold,
+    hybrid_flow_threshold,
+    scale_to_partition,
+)
+
+__all__ = [
+    "AdaptiveSharingManager",
+    "BufferManager",
+    "TailDropManager",
+    "FixedThresholdManager",
+    "SharedHeadroomManager",
+    "DynamicThresholdManager",
+    "REDManager",
+    "FREDManager",
+    "HybridBufferManager",
+    "flow_threshold",
+    "compute_thresholds",
+    "scale_to_partition",
+    "hybrid_flow_threshold",
+]

@@ -1,0 +1,61 @@
+"""Fixed-partition threshold policy (Sections 2 and 3.2).
+
+The buffer is *logically* partitioned: each flow has an occupancy
+threshold and a packet is admitted iff
+
+* it fits in the remaining buffer space, and
+* it would not raise its flow's occupancy above the flow's threshold.
+
+Enforcing the policy takes a constant number of operations per packet —
+the property that makes the scheme scale to backbone flow counts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.occupancy import BufferManager
+from repro.errors import ConfigurationError
+
+__all__ = ["FixedThresholdManager"]
+
+
+class FixedThresholdManager(BufferManager):
+    """Per-flow occupancy thresholds over a shared buffer.
+
+    Args:
+        capacity: total buffer size ``B`` in bytes.
+        thresholds: mapping flow id -> occupancy threshold in bytes
+            (typically from :func:`repro.core.thresholds.compute_thresholds`).
+        default_threshold: threshold applied to flows absent from
+            ``thresholds``; defaults to 0 (unknown flows are dropped),
+            which is the safe choice for guaranteed-service buffers.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        thresholds: Mapping[int, float],
+        default_threshold: float = 0.0,
+    ) -> None:
+        super().__init__(capacity)
+        for flow_id, threshold in thresholds.items():
+            if threshold < 0:
+                raise ConfigurationError(
+                    f"threshold for flow {flow_id} must be non-negative, got {threshold}"
+                )
+        if default_threshold < 0:
+            raise ConfigurationError(
+                f"default threshold must be non-negative, got {default_threshold}"
+            )
+        self.thresholds = dict(thresholds)
+        self.default_threshold = float(default_threshold)
+
+    def threshold(self, flow_id: int) -> float:
+        """Occupancy threshold applied to ``flow_id``."""
+        return self.thresholds.get(flow_id, self.default_threshold)
+
+    def _admits(self, flow_id: int, size: float) -> bool:
+        if self._total + size > self.capacity:
+            return False
+        return self.occupancy(flow_id) + size <= self.threshold(flow_id)

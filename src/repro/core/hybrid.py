@@ -1,0 +1,69 @@
+"""Buffer management for the hybrid architecture (Section 4.2).
+
+In the hybrid system the total buffer ``B`` is split across the ``k``
+class queues in proportion to their analytical minimum requirements
+(eq. 18), and each queue runs its own manager — fixed-partition or the
+headroom/holes sharing scheme — over its partition ``B_i`` with per-flow
+thresholds ``sigma_j + (rho_j / rho_hat_i) * B_i``.
+
+:class:`HybridBufferManager` composes one sub-manager per class and
+presents the single-manager interface the output port expects.  Because
+the partitions are physically disjoint, admission in one class never
+depends on occupancy in another — which is what makes the hybrid system's
+guarantees per-queue applications of the single-queue results.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.occupancy import BufferManager
+from repro.errors import ConfigurationError
+
+__all__ = ["HybridBufferManager"]
+
+
+class HybridBufferManager:
+    """Composite manager delegating to one sub-manager per flow class.
+
+    Args:
+        class_of: mapping flow id -> class index.
+        managers: one :class:`BufferManager` per class, index-aligned.
+    """
+
+    def __init__(self, class_of: Mapping[int, int], managers: Sequence[BufferManager]):
+        if not managers:
+            raise ConfigurationError("hybrid manager needs at least one sub-manager")
+        for flow_id, class_id in class_of.items():
+            if not 0 <= class_id < len(managers):
+                raise ConfigurationError(
+                    f"flow {flow_id} mapped to class {class_id}, "
+                    f"but only {len(managers)} managers supplied"
+                )
+        self.class_of = dict(class_of)
+        self.managers = list(managers)
+        self.capacity = sum(manager.capacity for manager in managers)
+
+    def _manager_for(self, flow_id: int) -> BufferManager:
+        class_id = self.class_of.get(flow_id)
+        if class_id is None:
+            raise ConfigurationError(f"flow {flow_id} not assigned to any class")
+        return self.managers[class_id]
+
+    def try_admit(self, flow_id: int, size: float) -> bool:
+        """Admission is decided entirely by the flow's class manager."""
+        return self._manager_for(flow_id).try_admit(flow_id, size)
+
+    def on_depart(self, flow_id: int, size: float) -> None:
+        self._manager_for(flow_id).on_depart(flow_id, size)
+
+    def occupancy(self, flow_id: int) -> float:
+        return self._manager_for(flow_id).occupancy(flow_id)
+
+    @property
+    def total_occupancy(self) -> float:
+        return sum(manager.total_occupancy for manager in self.managers)
+
+    @property
+    def free_space(self) -> float:
+        return self.capacity - self.total_occupancy

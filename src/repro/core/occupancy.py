@@ -1,0 +1,98 @@
+"""Per-flow buffer occupancy accounting.
+
+Every buffer-management policy in the paper admits or drops packets based
+on two pieces of state: the flow's own occupancy and some global quantity
+(total occupancy, free space, hole count...).  :class:`BufferManager`
+centralises that accounting so each policy only implements its admission
+predicate plus any extra counters.
+
+The contract with the output port is:
+
+* ``try_admit(flow_id, size)`` — called on packet arrival; returns True
+  and charges the occupancy if the packet is accepted, returns False (and
+  changes nothing) if it must be dropped;
+* ``on_depart(flow_id, size)`` — called when the packet finishes
+  transmission and its buffer space is released.
+
+Both are O(1) for every policy here, which is the paper's scalability
+argument: admission needs constant state and constant work per packet.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["BufferManager"]
+
+
+class BufferManager(ABC):
+    """Base class for buffer-admission policies over a shared buffer.
+
+    Args:
+        capacity: total buffer size ``B`` in bytes.  Must be positive.
+    """
+
+    def __init__(self, capacity: float):
+        if capacity <= 0:
+            raise ConfigurationError(f"buffer capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self._occupancy: dict[int, float] = {}
+        self._total = 0.0
+
+    @property
+    def total_occupancy(self) -> float:
+        """Bytes currently held in the buffer across all flows."""
+        return self._total
+
+    @property
+    def free_space(self) -> float:
+        """Unused buffer bytes."""
+        return self.capacity - self._total
+
+    def occupancy(self, flow_id: int) -> float:
+        """Bytes currently buffered for ``flow_id``."""
+        return self._occupancy.get(flow_id, 0.0)
+
+    def try_admit(self, flow_id: int, size: float) -> bool:
+        """Admit the packet if the policy allows it; charge occupancy."""
+        if size <= 0:
+            raise SimulationError(f"packet size must be positive, got {size}")
+        if not self._admits(flow_id, size):
+            return False
+        self._charge(flow_id, size)
+        return True
+
+    def on_depart(self, flow_id: int, size: float) -> None:
+        """Release the buffer space of a departing packet."""
+        occupancy = self._occupancy.get(flow_id, 0.0) - size
+        if occupancy < -1e-6:
+            raise SimulationError(
+                f"flow {flow_id} occupancy went negative ({occupancy}); "
+                "departure without matching admission"
+            )
+        self._occupancy[flow_id] = max(occupancy, 0.0)
+        self._total = max(self._total - size, 0.0)
+        self._on_release(flow_id, size)
+
+    def _charge(self, flow_id: int, size: float) -> None:
+        new_total = self._total + size
+        if new_total > self.capacity + 1e-6:
+            raise SimulationError(
+                f"policy {type(self).__name__} admitted beyond capacity "
+                f"({new_total} > {self.capacity})"
+            )
+        self._occupancy[flow_id] = self._occupancy.get(flow_id, 0.0) + size
+        self._total = new_total
+        self._on_accept(flow_id, size)
+
+    @abstractmethod
+    def _admits(self, flow_id: int, size: float) -> bool:
+        """Policy predicate: may this packet enter the buffer?"""
+
+    def _on_accept(self, flow_id: int, size: float) -> None:
+        """Hook for policies with extra counters (holes, headroom...)."""
+
+    def _on_release(self, flow_id: int, size: float) -> None:
+        """Hook mirroring :meth:`_on_accept` on departures."""

@@ -1,0 +1,123 @@
+"""Buffer sharing with headroom and holes (Section 3.3).
+
+The fixed-partition scheme wastes buffer whenever a flow does not use its
+reservation.  The paper's sharing variant keeps the same per-flow
+thresholds but lets active flows borrow unused space, while a *headroom*
+of up to ``H`` bytes is held back so flows still within their reservation
+always find room.  The borrowable space is called *holes*.
+
+Bookkeeping (quotes from the paper, Section 3.3):
+
+* Free space is split between two counters with the invariant
+  ``holes + headroom + total_occupancy == B`` and ``headroom <= H``.
+* Arrival for a flow **within its reservation** (occupancy + L <= T):
+  "we first attempt to use buffer space from the holes ... If the space
+  from the holes is insufficient, then buffer space from the reserved
+  headroom is used.  If the available space is still insufficient, the
+  packet is dropped."  Because holes + headroom equals the free space,
+  such packets are admitted exactly when they fit — the scheme is never
+  stricter than fixed partitioning for in-profile traffic.
+* Arrival for a flow **beyond its reservation**: served from holes only,
+  "a packet is accepted only if the amount of buffer space occupied by
+  the flow minus its reserved share is less than the amount of remaining
+  space in the holes" — we enforce ``occupancy - T + L <= holes`` (and
+  ``L <= holes``), so the extra space a flow grabs can never exceed the
+  holes that remain.  A packet that would straddle the threshold is
+  handled by this path.
+* Departure of length L: ``headroom += L; holes += max(headroom - H, 0);
+  headroom = min(headroom, H)`` — freed space refills the headroom first.
+
+This mirrors the Dynamic Threshold scheme of Choudhury and Hahne, with the
+flow-specific acceptance rule below threshold and the headroom cap as the
+paper's stated differences.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.occupancy import BufferManager
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["SharedHeadroomManager"]
+
+
+class SharedHeadroomManager(BufferManager):
+    """Threshold-based buffer sharing with a protected headroom.
+
+    Args:
+        capacity: total buffer size ``B`` in bytes.
+        thresholds: mapping flow id -> reserved threshold ``T_i`` in bytes
+            (computed exactly as in the fixed-partition case).
+        headroom: the cap ``H`` in bytes on the protected headroom.
+        default_threshold: reservation applied to unknown flows
+            (0 = unknown flows may only use holes).
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        thresholds: Mapping[int, float],
+        headroom: float,
+        default_threshold: float = 0.0,
+    ) -> None:
+        super().__init__(capacity)
+        if headroom < 0:
+            raise ConfigurationError(f"headroom must be non-negative, got {headroom}")
+        for flow_id, threshold in thresholds.items():
+            if threshold < 0:
+                raise ConfigurationError(
+                    f"threshold for flow {flow_id} must be non-negative, got {threshold}"
+                )
+        self.thresholds = dict(thresholds)
+        self.default_threshold = float(default_threshold)
+        self.headroom_cap = float(headroom)
+        self.headroom = min(self.headroom_cap, self.capacity)
+        self.holes = self.capacity - self.headroom
+
+    def threshold(self, flow_id: int) -> float:
+        """Reserved threshold applied to ``flow_id``."""
+        return self.thresholds.get(flow_id, self.default_threshold)
+
+    def _within_reservation(self, flow_id: int, size: float) -> bool:
+        return self.occupancy(flow_id) + size <= self.threshold(flow_id)
+
+    def _admits(self, flow_id: int, size: float) -> bool:
+        if self._within_reservation(flow_id, size):
+            return self.holes + self.headroom >= size
+        excess_after = self.occupancy(flow_id) - self.threshold(flow_id) + size
+        return size <= self.holes and excess_after <= self.holes
+
+    def _on_accept(self, flow_id: int, size: float) -> None:
+        # Occupancy has already been charged, so "at or below threshold now"
+        # identifies packets admitted through the privileged path: those may
+        # take from holes first and the remainder from headroom.  Packets
+        # that pushed the flow beyond its threshold were admitted from holes
+        # only.
+        if self.occupancy(flow_id) <= self.threshold(flow_id):
+            from_holes = min(self.holes, size)
+            self.holes -= from_holes
+            self.headroom -= size - from_holes
+        else:
+            self.holes -= size
+        self._check_counters()
+
+    def _on_release(self, flow_id: int, size: float) -> None:
+        self.headroom += size
+        if self.headroom > self.headroom_cap:
+            self.holes += self.headroom - self.headroom_cap
+            self.headroom = self.headroom_cap
+        self._check_counters()
+
+    def _check_counters(self) -> None:
+        if self.holes < -1e-6 or self.headroom < -1e-6:
+            raise SimulationError(
+                f"sharing counters went negative (holes={self.holes}, "
+                f"headroom={self.headroom})"
+            )
+        expected_free = self.capacity - self._total
+        if abs((self.holes + self.headroom) - expected_free) > 1e-3:
+            raise SimulationError(
+                "holes + headroom diverged from free space: "
+                f"{self.holes} + {self.headroom} != {expected_free}"
+            )

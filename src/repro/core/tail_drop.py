@@ -1,0 +1,21 @@
+"""Shared buffer with no per-flow management (plain tail drop).
+
+The paper's first benchmark: "a simple work-conserving FIFO scheduler with
+no buffer management ... commonly implemented in a best effort internet".
+A packet is admitted whenever it fits, so aggressive flows can capture the
+entire buffer and starve conformant ones — exactly the failure mode the
+paper's threshold schemes eliminate.
+"""
+
+from __future__ import annotations
+
+from repro.core.occupancy import BufferManager
+
+__all__ = ["TailDropManager"]
+
+
+class TailDropManager(BufferManager):
+    """Admit iff the packet fits in the remaining buffer space."""
+
+    def _admits(self, flow_id: int, size: float) -> bool:
+        return self._total + size <= self.capacity

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with inconsistent parameters.
+
+    Examples: a negative buffer size, scheduler weights that do not match
+    the registered flows, or a hybrid grouping that does not cover every
+    flow exactly once.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation reaches an internally inconsistent state.
+
+    This signals a bug (e.g. negative occupancy) rather than a user error;
+    invariants are checked eagerly so problems surface close to their cause.
+    """
+
+
+class AdmissionError(ReproError):
+    """Raised when admission control is asked about a malformed flow."""

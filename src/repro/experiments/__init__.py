@@ -1,0 +1,52 @@
+"""Experiment harness: workloads, schemes, runner, figures, reports."""
+
+from repro.experiments.config import SweepConfig, full_mode_enabled, sweep_config
+from repro.experiments.figures import ALL_FIGURES, FigureResult
+from repro.experiments.report import format_figure, format_table
+from repro.experiments.runner import ScenarioResult, run_replications, run_scenario
+from repro.experiments.spec import ScenarioSpec, load_specs, run_spec
+from repro.experiments.schemes import DEFAULT_HEADROOM, Scheme, SchemeBuild, build_scheme
+from repro.experiments.workloads import (
+    CASE1_GROUPS,
+    CASE2_GROUPS,
+    LINK_RATE,
+    PACKET_SIZE,
+    TABLE1_CONFORMANT,
+    TABLE1_NONCONFORMANT,
+    TABLE2_AGGRESSIVE,
+    TABLE2_CONFORMANT,
+    TABLE2_MODERATE,
+    table1_flows,
+    table2_flows,
+)
+
+__all__ = [
+    "SweepConfig",
+    "full_mode_enabled",
+    "sweep_config",
+    "ALL_FIGURES",
+    "FigureResult",
+    "format_figure",
+    "format_table",
+    "ScenarioResult",
+    "run_replications",
+    "run_scenario",
+    "ScenarioSpec",
+    "load_specs",
+    "run_spec",
+    "DEFAULT_HEADROOM",
+    "Scheme",
+    "SchemeBuild",
+    "build_scheme",
+    "CASE1_GROUPS",
+    "CASE2_GROUPS",
+    "LINK_RATE",
+    "PACKET_SIZE",
+    "TABLE1_CONFORMANT",
+    "TABLE1_NONCONFORMANT",
+    "TABLE2_AGGRESSIVE",
+    "TABLE2_CONFORMANT",
+    "TABLE2_MODERATE",
+    "table1_flows",
+    "table2_flows",
+]

@@ -1,0 +1,62 @@
+"""Experiment sizing: fast (default) vs full reproduction mode.
+
+The paper's sweeps (5 replications, long runs, many buffer points) take a
+while in pure Python, so the figure functions default to a scaled-down
+*fast* mode that preserves every qualitative shape.  Set the environment
+variable ``REPRO_FULL=1`` (or pass ``fast=False``) to run the
+paper-faithful configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.units import mbytes
+
+__all__ = ["SweepConfig", "sweep_config", "full_mode_enabled"]
+
+
+def full_mode_enabled() -> bool:
+    """True when the REPRO_FULL environment variable requests full runs."""
+    return os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false", "no")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Sizing of a buffer-sweep experiment."""
+
+    buffers: tuple[float, ...]
+    seeds: tuple[int, ...]
+    sim_time: float
+
+    @property
+    def n_runs_per_scheme(self) -> int:
+        return len(self.buffers) * len(self.seeds)
+
+
+#: Buffer grid of Figures 1-6 and 8-13 (MBytes), paper range 0.5-5.
+_FULL_BUFFERS_MB = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0)
+_FAST_BUFFERS_MB = (0.5, 1.0, 2.0, 3.5, 5.0)
+
+
+def sweep_config(fast: bool | None = None) -> SweepConfig:
+    """Resolve the sweep sizing for the requested mode.
+
+    Args:
+        fast: ``True`` forces fast mode, ``False`` forces full mode,
+            ``None`` consults the ``REPRO_FULL`` environment variable.
+    """
+    if fast is None:
+        fast = not full_mode_enabled()
+    if fast:
+        return SweepConfig(
+            buffers=tuple(mbytes(b) for b in _FAST_BUFFERS_MB),
+            seeds=(1, 2, 3),
+            sim_time=8.0,
+        )
+    return SweepConfig(
+        buffers=tuple(mbytes(b) for b in _FULL_BUFFERS_MB),
+        seeds=(1, 2, 3, 4, 5),
+        sim_time=20.0,
+    )

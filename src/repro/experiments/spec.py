@@ -1,0 +1,215 @@
+"""Declarative scenario specifications (JSON-friendly).
+
+Lets users define experiments as data — workload, scheme, buffer,
+metrics — and run them in batch, e.g.::
+
+    {
+      "name": "thresholds-at-1MB",
+      "workload": "table1",
+      "scheme": "FIFO_THRESHOLD",
+      "buffer_mb": 1.0,
+      "seeds": [1, 2, 3],
+      "metrics": ["utilization", "loss:conformant", "throughput:6,8"]
+    }
+
+``python -m repro run spec.json`` executes one spec (or a list of
+specs) and prints a result table; :func:`run_spec` is the library
+entry point.
+
+Custom workloads are given in the paper's units (Mb/s and KBytes)::
+
+    "workload": [
+      {"peak_mbps": 16, "avg_mbps": 2, "bucket_kb": 50,
+       "token_mbps": 2, "conformant": true}
+    ]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.schemes import DEFAULT_HEADROOM, Scheme
+from repro.experiments.workloads import (
+    CASE1_GROUPS,
+    CASE2_GROUPS,
+    LINK_RATE,
+    TABLE1_CONFORMANT,
+    TABLE2_CONFORMANT,
+    table1_flows,
+    table2_flows,
+)
+from repro.metrics.stats import MeanCI, mean_ci
+from repro.traffic.profiles import FlowSpec
+from repro.units import kbytes, mbps, mbytes
+
+__all__ = ["ScenarioSpec", "run_spec", "load_specs"]
+
+_WORKLOADS = {"table1": table1_flows, "table2": table2_flows}
+_DEFAULT_GROUPS = {"table1": CASE1_GROUPS, "table2": CASE2_GROUPS}
+_CONFORMANT_SETS = {"table1": TABLE1_CONFORMANT, "table2": TABLE2_CONFORMANT}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment."""
+
+    name: str
+    scheme: Scheme
+    buffer_bytes: float
+    flows: tuple[FlowSpec, ...]
+    metrics: tuple[str, ...]
+    link_rate: float = LINK_RATE
+    sim_time: float = 8.0
+    seeds: tuple[int, ...] = (1,)
+    headroom: float = DEFAULT_HEADROOM
+    groups: tuple[tuple[int, ...], ...] | None = None
+    conformant_ids: tuple[int, ...] = ()
+
+    @staticmethod
+    def from_dict(raw: dict) -> "ScenarioSpec":
+        """Build and validate a spec from plain JSON-style data."""
+        try:
+            name = str(raw["name"])
+            scheme_name = str(raw["scheme"])
+            buffer_mb = float(raw["buffer_mb"])
+        except KeyError as missing:
+            raise ConfigurationError(f"spec missing required key {missing}") from None
+        try:
+            scheme = Scheme[scheme_name]
+        except KeyError:
+            valid = ", ".join(s.name for s in Scheme)
+            raise ConfigurationError(
+                f"unknown scheme {scheme_name!r}; valid: {valid}"
+            ) from None
+
+        workload = raw.get("workload", "table1")
+        conformant_ids: tuple[int, ...]
+        if isinstance(workload, str):
+            if workload not in _WORKLOADS:
+                raise ConfigurationError(
+                    f"unknown workload {workload!r}; valid: {sorted(_WORKLOADS)}"
+                )
+            flows = tuple(_WORKLOADS[workload]())
+            conformant_ids = tuple(_CONFORMANT_SETS[workload])
+            default_groups = _DEFAULT_GROUPS[workload]
+        else:
+            flows = tuple(
+                _flow_from_dict(index, entry) for index, entry in enumerate(workload)
+            )
+            conformant_ids = tuple(
+                flow.flow_id for flow in flows if flow.conformant
+            )
+            default_groups = None
+
+        groups = raw.get("groups")
+        if groups is None and scheme.is_hybrid:
+            groups = default_groups
+        if groups is not None:
+            groups = tuple(tuple(int(i) for i in group) for group in groups)
+        if scheme.is_hybrid and groups is None:
+            raise ConfigurationError(f"scheme {scheme.name} requires groups")
+
+        metrics = tuple(str(m) for m in raw.get("metrics", ("utilization",)))
+        for metric in metrics:
+            _parse_metric(metric, conformant_ids)  # validate early
+
+        seeds = tuple(int(s) for s in raw.get("seeds", (1,)))
+        if not seeds:
+            raise ConfigurationError("seeds must be non-empty")
+
+        return ScenarioSpec(
+            name=name,
+            scheme=scheme,
+            buffer_bytes=mbytes(buffer_mb),
+            flows=flows,
+            metrics=metrics,
+            link_rate=mbps(float(raw.get("link_mbps", 48.0))),
+            sim_time=float(raw.get("sim_time", 8.0)),
+            seeds=seeds,
+            headroom=mbytes(float(raw.get("headroom_mb", 2.0))),
+            groups=groups,
+            conformant_ids=conformant_ids,
+        )
+
+
+def _flow_from_dict(index: int, raw: dict) -> FlowSpec:
+    try:
+        peak = float(raw["peak_mbps"])
+        avg = float(raw["avg_mbps"])
+        bucket = float(raw["bucket_kb"])
+        token = float(raw["token_mbps"])
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"custom flow {index} missing key {missing}"
+        ) from None
+    conformant = bool(raw.get("conformant", True))
+    burst_kb = float(raw.get("burst_kb", bucket))
+    return FlowSpec(
+        flow_id=int(raw.get("flow_id", index)),
+        peak_rate=mbps(peak),
+        avg_rate=mbps(avg),
+        bucket=kbytes(bucket),
+        token_rate=mbps(token),
+        conformant=conformant,
+        mean_burst=kbytes(burst_kb),
+    )
+
+
+def _parse_metric(metric: str, conformant_ids: Sequence[int]):
+    """Turn a metric string into (label, extractor)."""
+    kind, _, argument = metric.partition(":")
+    if kind == "utilization":
+        return metric, lambda result: 100.0 * result.utilization()
+    if kind in ("loss", "throughput"):
+        if argument == "conformant":
+            ids: Sequence[int] | None = tuple(conformant_ids)
+        elif argument == "" or argument == "all":
+            ids = None
+        else:
+            try:
+                ids = tuple(int(part) for part in argument.split(","))
+            except ValueError:
+                raise ConfigurationError(f"bad metric flow list in {metric!r}") from None
+        if kind == "loss":
+            return metric, lambda result, ids=ids: 100.0 * result.loss_fraction(ids)
+        return metric, (
+            lambda result, ids=ids: 8e-6 * result.throughput(ids)  # Mb/s
+        )
+    raise ConfigurationError(
+        f"unknown metric {metric!r}; use utilization, loss[:ids], throughput[:ids]"
+    )
+
+
+def run_spec(spec: ScenarioSpec) -> dict[str, MeanCI]:
+    """Execute a spec over its seeds; returns metric -> mean ± CI."""
+    extractors = [_parse_metric(metric, spec.conformant_ids) for metric in spec.metrics]
+    samples: dict[str, list[float]] = {metric: [] for metric in spec.metrics}
+    for seed in spec.seeds:
+        result: ScenarioResult = run_scenario(
+            spec.flows,
+            spec.scheme,
+            spec.buffer_bytes,
+            link_rate=spec.link_rate,
+            sim_time=spec.sim_time,
+            seed=seed,
+            headroom=spec.headroom,
+            groups=spec.groups,
+        )
+        for label, extractor in extractors:
+            samples[label].append(extractor(result))
+    return {label: mean_ci(values) for label, values in samples.items()}
+
+
+def load_specs(path: str | pathlib.Path) -> list[ScenarioSpec]:
+    """Load one spec or a list of specs from a JSON file."""
+    raw = json.loads(pathlib.Path(path).read_text())
+    if isinstance(raw, dict):
+        raw = [raw]
+    if not isinstance(raw, list) or not raw:
+        raise ConfigurationError("spec file must contain an object or non-empty list")
+    return [ScenarioSpec.from_dict(entry) for entry in raw]

@@ -1,0 +1,16 @@
+"""Measurement: per-flow counters and replication statistics."""
+
+from repro.metrics.collector import FlowStats, StatsCollector
+from repro.metrics.histogram import LogHistogram
+from repro.metrics.stats import MeanCI, mean_ci, replicate
+from repro.metrics.trace import OccupancyProbe
+
+__all__ = [
+    "FlowStats",
+    "StatsCollector",
+    "LogHistogram",
+    "MeanCI",
+    "mean_ci",
+    "replicate",
+    "OccupancyProbe",
+]

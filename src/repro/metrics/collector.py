@@ -1,0 +1,139 @@
+"""Per-flow measurement of offered load, drops, departures and delay.
+
+The collector mirrors the paper's methodology: statistics are accumulated
+only after a warmup period, and throughput / loss are computed over the
+measurement window ``[warmup, end]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.metrics.histogram import LogHistogram
+
+__all__ = ["FlowStats", "StatsCollector"]
+
+
+@dataclass
+class FlowStats:
+    """Counters for one flow over the measurement window."""
+
+    offered_packets: int = 0
+    offered_bytes: float = 0.0
+    dropped_packets: int = 0
+    dropped_bytes: float = 0.0
+    departed_packets: int = 0
+    departed_bytes: float = 0.0
+    delay_sum: float = 0.0
+    delay_max: float = 0.0
+
+    @property
+    def accepted_packets(self) -> int:
+        return self.offered_packets - self.dropped_packets
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of offered bytes that were dropped (0 if idle)."""
+        if self.offered_bytes <= 0:
+            return 0.0
+        return self.dropped_bytes / self.offered_bytes
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean queueing + transmission delay of departed packets."""
+        if self.departed_packets == 0:
+            return 0.0
+        return self.delay_sum / self.departed_packets
+
+
+@dataclass
+class StatsCollector:
+    """Accumulates :class:`FlowStats` for every flow seen at a port.
+
+    Args:
+        warmup: events strictly before this time are ignored.
+        delay_histograms: when True, a per-flow
+            :class:`~repro.metrics.histogram.LogHistogram` of departure
+            delays is kept (seconds; see :meth:`delay_histogram`).
+    """
+
+    warmup: float = 0.0
+    delay_histograms: bool = False
+    flows: dict[int, FlowStats] = field(default_factory=dict)
+    _histograms: dict[int, LogHistogram] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ConfigurationError(f"warmup must be non-negative, got {self.warmup}")
+
+    def delay_histogram(self, flow_id: int) -> LogHistogram:
+        """The flow's delay histogram (requires ``delay_histograms=True``)."""
+        if not self.delay_histograms:
+            raise ConfigurationError("collector built without delay_histograms=True")
+        histogram = self._histograms.get(flow_id)
+        if histogram is None:
+            histogram = LogHistogram(lo=1e-6, hi=100.0)
+            self._histograms[flow_id] = histogram
+        return histogram
+
+    def _stats(self, flow_id: int) -> FlowStats:
+        stats = self.flows.get(flow_id)
+        if stats is None:
+            stats = FlowStats()
+            self.flows[flow_id] = stats
+        return stats
+
+    def on_offered(self, flow_id: int, size: float, now: float) -> None:
+        """A packet reached the port (post-shaper offered load)."""
+        if now < self.warmup:
+            return
+        stats = self._stats(flow_id)
+        stats.offered_packets += 1
+        stats.offered_bytes += size
+
+    def on_drop(self, flow_id: int, size: float, now: float) -> None:
+        """The buffer manager rejected the packet."""
+        if now < self.warmup:
+            return
+        stats = self._stats(flow_id)
+        stats.dropped_packets += 1
+        stats.dropped_bytes += size
+
+    def on_depart(self, flow_id: int, size: float, delay: float, now: float) -> None:
+        """The packet finished transmission ``delay`` seconds after arrival."""
+        if now < self.warmup:
+            return
+        stats = self._stats(flow_id)
+        stats.departed_packets += 1
+        stats.departed_bytes += size
+        stats.delay_sum += delay
+        if delay > stats.delay_max:
+            stats.delay_max = delay
+        if self.delay_histograms:
+            self.delay_histogram(flow_id).record(max(delay, 0.0))
+
+    # -- aggregation ----------------------------------------------------
+
+    def flow_ids(self) -> list[int]:
+        return sorted(self.flows)
+
+    def total_departed_bytes(self, flow_ids=None) -> float:
+        """Departed bytes summed over the given flows (default: all)."""
+        ids = self.flows.keys() if flow_ids is None else flow_ids
+        return sum(self.flows[i].departed_bytes for i in ids if i in self.flows)
+
+    def throughput(self, duration: float, flow_ids=None) -> float:
+        """Bytes/second delivered over the measurement window."""
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+        return self.total_departed_bytes(flow_ids) / duration
+
+    def loss_fraction(self, flow_ids=None) -> float:
+        """Dropped / offered bytes over the given flows (default: all)."""
+        ids = list(self.flows.keys() if flow_ids is None else flow_ids)
+        offered = sum(self.flows[i].offered_bytes for i in ids if i in self.flows)
+        if offered <= 0:
+            return 0.0
+        dropped = sum(self.flows[i].dropped_bytes for i in ids if i in self.flows)
+        return dropped / offered

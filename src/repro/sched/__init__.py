@@ -1,0 +1,18 @@
+"""Link schedulers: FIFO, WFQ and the Section-4 hybrid."""
+
+from repro.sched.base import Scheduler
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.hybrid import HybridScheduler, validate_grouping
+from repro.sched.rpq import RPQScheduler
+from repro.sched.scfq import SCFQScheduler
+from repro.sched.wfq import WFQScheduler
+
+__all__ = [
+    "Scheduler",
+    "FIFOScheduler",
+    "WFQScheduler",
+    "SCFQScheduler",
+    "RPQScheduler",
+    "HybridScheduler",
+    "validate_grouping",
+]

@@ -1,0 +1,36 @@
+"""Scheduler interface.
+
+A scheduler owns the queued packets of an output port and decides the
+transmission order.  It does **not** decide admission — that is the buffer
+manager's job (see :mod:`repro.core`) — and it does not model transmission
+time, which the port handles.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.sim.packet import Packet
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Order of service for packets already admitted to the buffer."""
+
+    @abstractmethod
+    def enqueue(self, packet: Packet) -> None:
+        """Add an admitted packet to the queue."""
+
+    @abstractmethod
+    def dequeue(self) -> Packet | None:
+        """Remove and return the next packet to transmit, or ``None``."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of packets currently queued."""
+
+    @property
+    def backlog_bytes(self) -> float:
+        """Total bytes queued; subclasses track this incrementally."""
+        raise NotImplementedError

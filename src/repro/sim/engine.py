@@ -1,0 +1,133 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, fast core: a binary heap of ``(time, sequence,
+callback, args)`` entries.  The sequence number breaks ties so that events
+scheduled for the same instant fire in scheduling order, which makes runs
+deterministic for a given seed.
+
+Components (sources, shapers, ports) hold a reference to the
+:class:`Simulator` and schedule their own callbacks; there is no global
+registry.  The engine knows nothing about packets or networking.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`;
+    the only supported operation is :meth:`cancel`.  Cancelled events stay
+    in the heap but are skipped when popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"Event(t={self.time:.6f}, fn={name}, {state})"
+
+
+class Simulator:
+    """Event loop with a monotonically advancing clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, callback, arg1, arg2)
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired (cancelled ones excluded)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap, including cancelled ones."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self.now}"
+            )
+        event = Event(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, event))
+        return event
+
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns ``False`` when the heap is empty, ``True`` otherwise.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run the event loop.
+
+        Args:
+            until: stop once the clock would pass this time; the clock is
+                left at ``until`` so measurement windows have an exact end.
+                ``None`` runs until the heap drains.
+            max_events: optional safety valve for tests; raises
+                :class:`SimulationError` when exceeded.
+        """
+        heap = self._heap
+        fired = 0
+        while heap:
+            time, _seq, event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            self.now = time
+            self._events_processed += 1
+            event.fn(*event.args)
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        if until is not None and self.now < until:
+            self.now = until

@@ -1,0 +1,110 @@
+"""Output port: buffer manager + scheduler + transmission link.
+
+The port is the meeting point of the paper's two mechanisms:
+
+* on packet arrival it consults the **buffer manager** (admission), and
+* when the link is free it asks the **scheduler** for the next packet and
+  models its transmission time ``size / rate``.
+
+Any object with ``try_admit`` / ``on_depart`` works as a manager (both
+:class:`repro.core.occupancy.BufferManager` subclasses and the composite
+:class:`repro.core.hybrid.HybridBufferManager`), and any
+:class:`repro.sched.base.Scheduler` works as a scheduler, so the four
+scheme combinations of Section 3 — and the hybrid system of Section 4 —
+are all instances of this one class.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.metrics.collector import StatsCollector
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # imported lazily to avoid a sim <-> sched import cycle
+    from repro.sched.base import Scheduler
+
+__all__ = ["OutputPort"]
+
+
+class OutputPort:
+    """A rate-``R`` output link fed through a managed buffer.
+
+    Args:
+        sim: the simulation engine.
+        rate: link rate in bytes/second.
+        scheduler: service order for admitted packets.
+        manager: buffer-admission policy.
+        collector: optional statistics sink.
+        downstream: optional next hop with a ``receive(packet)`` method;
+            transmitted packets are handed to it, which is how multi-node
+            topologies (:mod:`repro.net`) are chained.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: float,
+        scheduler: "Scheduler",
+        manager,
+        collector: StatsCollector | None = None,
+        downstream=None,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"link rate must be positive, got {rate}")
+        self.sim = sim
+        self.rate = float(rate)
+        self.scheduler = scheduler
+        self.manager = manager
+        self.collector = collector
+        self.downstream = downstream
+        self.busy = False
+        self._in_service: Packet | None = None
+        self.admitted_packets = 0
+        self.dropped_packets = 0
+        self.transmitted_packets = 0
+
+    def receive(self, packet: Packet) -> bool:
+        """Handle an arriving packet; returns True if admitted."""
+        now = self.sim.now
+        if self.collector is not None:
+            self.collector.on_offered(packet.flow_id, packet.size, now)
+        if not self.manager.try_admit(packet.flow_id, packet.size):
+            self.dropped_packets += 1
+            if self.collector is not None:
+                self.collector.on_drop(packet.flow_id, packet.size, now)
+            return False
+        packet.enqueued = now
+        self.admitted_packets += 1
+        self.scheduler.enqueue(packet)
+        if not self.busy:
+            self._start_transmission()
+        return True
+
+    def _start_transmission(self) -> None:
+        packet = self.scheduler.dequeue()
+        if packet is None:
+            self.busy = False
+            self._in_service = None
+            return
+        self.busy = True
+        self._in_service = packet
+        self.sim.schedule(packet.size / self.rate, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        now = self.sim.now
+        self.manager.on_depart(packet.flow_id, packet.size)
+        self.transmitted_packets += 1
+        if self.collector is not None:
+            delay = now - (packet.enqueued if packet.enqueued is not None else now)
+            self.collector.on_depart(packet.flow_id, packet.size, delay, now)
+        if self.downstream is not None:
+            self.downstream.receive(packet)
+        self._start_transmission()
+
+    @property
+    def backlog_packets(self) -> int:
+        """Packets in the buffer, including the one in service."""
+        return len(self.scheduler) + (1 if self.busy else 0)

@@ -1,0 +1,25 @@
+"""Traffic models: flow profiles, sources and leaky-bucket regulation."""
+
+from repro.traffic.adversarial import FillThenBurstSource, ThresholdFillingSource
+from repro.traffic.profiles import FlowSpec
+from repro.traffic.shaper import LeakyBucketShaper, TokenBucketMeter
+from repro.traffic.sources import (
+    DEFAULT_PACKET_SIZE,
+    CBRSource,
+    GreedySource,
+    OnOffSource,
+    TraceSource,
+)
+
+__all__ = [
+    "FlowSpec",
+    "FillThenBurstSource",
+    "ThresholdFillingSource",
+    "LeakyBucketShaper",
+    "TokenBucketMeter",
+    "OnOffSource",
+    "CBRSource",
+    "GreedySource",
+    "TraceSource",
+    "DEFAULT_PACKET_SIZE",
+]

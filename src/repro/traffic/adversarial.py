@@ -1,0 +1,151 @@
+"""Adversarial traffic patterns from the paper's analysis.
+
+Two worst-case behaviours drive the necessity arguments of Section 2:
+
+* :class:`ThresholdFillingSource` — Example 1's greedy flow: it reacts
+  to its own departures so that its buffer occupancy sits at its
+  threshold at all times ("its arrival process is such that
+  Q_2(t) = B_2 for all t >= 0").  Unlike a plain overdriven CBR source,
+  it offers exactly what the buffer will accept, so drop counters stay
+  meaningful.
+* :class:`FillThenBurstSource` — the Prop-2 necessity construction: send
+  at the token rate (never spending the burst allowance) until the
+  ``rho B / R`` share of the buffer is full, then dump the entire
+  ``sigma`` burst instantaneously.  Conformant by construction, and the
+  worst case for the ``sigma + rho B / R`` threshold.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.port import OutputPort
+
+__all__ = ["ThresholdFillingSource", "FillThenBurstSource"]
+
+
+class ThresholdFillingSource:
+    """Keep a flow's buffer occupancy pinned at a target level.
+
+    Polls the port's manager at a fine period and tops the flow's
+    occupancy back up to ``target`` whenever departures open space.  The
+    polling period should be at most one packet transmission time for a
+    faithful rendition of the fluid model.
+
+    Args:
+        sim: simulation engine.
+        flow_id: the greedy flow's id.
+        port: output port whose manager is observed and fed.
+        target: occupancy level in bytes to maintain.
+        packet_size: granularity of the topping-up packets.
+        period: polling period in seconds.
+        until: stop at this time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        port: OutputPort,
+        target: float,
+        packet_size: float = 500.0,
+        period: float | None = None,
+        until: float | None = None,
+    ) -> None:
+        if target <= 0:
+            raise ConfigurationError(f"target must be positive, got {target}")
+        if packet_size <= 0:
+            raise ConfigurationError(f"packet size must be positive, got {packet_size}")
+        self.sim = sim
+        self.flow_id = flow_id
+        self.port = port
+        self.target = float(target)
+        self.packet_size = float(packet_size)
+        self.period = period if period is not None else packet_size / port.rate
+        self.until = until
+        self.offered_packets = 0
+        sim.schedule(0.0, self._top_up)
+
+    def _top_up(self) -> None:
+        if self.until is not None and self.sim.now >= self.until:
+            return
+        occupancy = self.port.manager.occupancy(self.flow_id)
+        while occupancy + self.packet_size <= self.target:
+            packet = Packet(self.flow_id, self.packet_size, self.sim.now)
+            self.offered_packets += 1
+            if not self.port.receive(packet):
+                break
+            occupancy = self.port.manager.occupancy(self.flow_id)
+        self.sim.schedule(self.period, self._top_up)
+
+
+class FillThenBurstSource:
+    """The Proposition-2 necessity adversary (conformant worst case).
+
+    Phase 1: CBR at the token rate ``rho`` until ``burst_at``; the token
+    bucket stays full because the flow never exceeds ``rho``.
+    Phase 2: at ``burst_at``, dump ``sigma`` bytes instantaneously.
+    Phase 3: continue at ``rho`` until ``until``.
+
+    The emitted stream is ``(sigma, rho)``-conformant, and with
+    ``burst_at`` chosen so that the flow's steady-state share
+    ``rho B / R`` of the buffer is occupied, it exactly attains the
+    ``sigma + rho B / R`` threshold of Proposition 2.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        sigma: float,
+        rho: float,
+        sink,
+        burst_at: float,
+        packet_size: float = 500.0,
+        until: float | None = None,
+    ) -> None:
+        if sigma < packet_size:
+            raise ConfigurationError(
+                f"sigma ({sigma}) must cover at least one packet ({packet_size})"
+            )
+        if rho <= 0:
+            raise ConfigurationError(f"rho must be positive, got {rho}")
+        if burst_at < 0:
+            raise ConfigurationError(f"burst_at must be non-negative, got {burst_at}")
+        self.sim = sim
+        self.flow_id = flow_id
+        self.sigma = float(sigma)
+        self.rho = float(rho)
+        self.sink = sink
+        self.packet_size = float(packet_size)
+        self.until = until
+        self.burst_fired = False
+        self.emitted_bytes = 0.0
+        self._spacing = self.packet_size / self.rho
+        sim.schedule(0.0, self._emit_cbr)
+        sim.schedule_at(burst_at, self._dump_burst)
+
+    def _stopped(self) -> bool:
+        return self.until is not None and self.sim.now >= self.until
+
+    def _emit(self, size: float) -> None:
+        packet = Packet(self.flow_id, size, self.sim.now)
+        self.emitted_bytes += size
+        self.sink.receive(packet)
+
+    def _emit_cbr(self) -> None:
+        if self._stopped():
+            return
+        self._emit(self.packet_size)
+        self.sim.schedule(self._spacing, self._emit_cbr)
+
+    def _dump_burst(self) -> None:
+        if self._stopped() or self.burst_fired:
+            return
+        self.burst_fired = True
+        # The CBR phase leaves the bucket one in-flight packet short of
+        # full, so a dump of sigma - packet_size is the largest burst
+        # that keeps the stream strictly conformant.
+        for _ in range(int((self.sigma - self.packet_size) // self.packet_size)):
+            self._emit(self.packet_size)

@@ -1,0 +1,68 @@
+"""Flow traffic profiles.
+
+A :class:`FlowSpec` carries everything the experiments need to know about
+one flow: how it *behaves* (peak rate, average rate, mean burst length)
+and what it *reserved* (token bucket ``sigma`` and token rate ``rho``).
+Conformant flows are additionally run through a leaky-bucket regulator so
+their traffic matches the reservation; non-conformant flows are fed to the
+network unshaped — the paper's Tables 1 and 2 are built exactly this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FlowSpec"]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """Traffic behaviour and reservation of one flow.
+
+    Attributes:
+        flow_id: unique integer id.
+        peak_rate: on-state emission rate, bytes/second.
+        avg_rate: long-run average emission rate, bytes/second.
+        bucket: reserved token-bucket size ``sigma``, bytes.
+        token_rate: reserved token rate ``rho``, bytes/second.
+        conformant: whether the flow is shaped to ``(sigma, rho)`` before
+            entering the network.
+        mean_burst: mean bytes emitted per on-period.  For conformant
+            flows this is conventionally the bucket size; the paper's
+            non-conformant flows use larger values (e.g. 5x the bucket).
+    """
+
+    flow_id: int
+    peak_rate: float
+    avg_rate: float
+    bucket: float
+    token_rate: float
+    conformant: bool
+    mean_burst: float
+
+    def __post_init__(self) -> None:
+        if self.peak_rate <= 0:
+            raise ConfigurationError(f"flow {self.flow_id}: peak rate must be positive")
+        if not 0 < self.avg_rate <= self.peak_rate:
+            raise ConfigurationError(
+                f"flow {self.flow_id}: need 0 < avg_rate <= peak_rate, "
+                f"got avg={self.avg_rate}, peak={self.peak_rate}"
+            )
+        if self.bucket <= 0:
+            raise ConfigurationError(f"flow {self.flow_id}: bucket must be positive")
+        if self.token_rate <= 0:
+            raise ConfigurationError(f"flow {self.flow_id}: token rate must be positive")
+        if self.mean_burst <= 0:
+            raise ConfigurationError(f"flow {self.flow_id}: mean burst must be positive")
+
+    @property
+    def profile(self) -> tuple[float, float]:
+        """The reserved ``(sigma, rho)`` pair in (bytes, bytes/second)."""
+        return (self.bucket, self.token_rate)
+
+    @property
+    def overload_factor(self) -> float:
+        """Offered average rate relative to the reservation."""
+        return self.avg_rate / self.token_rate

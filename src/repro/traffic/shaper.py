@@ -1,0 +1,149 @@
+"""Leaky-bucket regulation: shaping and conformance metering.
+
+Two related components:
+
+* :class:`LeakyBucketShaper` — a delay element placed between a source and
+  the network.  Packets leave only when the ``(sigma, rho)`` token bucket
+  has enough tokens, so the *output* stream satisfies
+  ``A(t) - A(s) <= sigma + rho (t - s)`` (eq. 2 of the paper).  This is
+  how the paper's conformant flows are produced.
+* :class:`TokenBucketMeter` — a pure observer that tags each arrival as
+  conformant or not and exposes the remaining *burst potential*
+  ``sigma(t)`` of eq. (3).  Used by the analysis and the tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+__all__ = ["LeakyBucketShaper", "TokenBucketMeter"]
+
+#: Byte-scale tolerance for token comparisons.  Token refills accumulate
+#: float error; without a tolerance, a deficit of ~1e-11 bytes produces a
+#: release delay smaller than one ulp of the clock and the release event
+#: re-fires at the same timestamp forever.
+_EPSILON_BYTES = 1e-6
+
+
+class LeakyBucketShaper:
+    """Shape a packet stream to a ``(sigma, rho)`` envelope by delaying.
+
+    Packets are never dropped; an unbounded shaping queue holds packets
+    until the token bucket can pay for them.  The bucket starts full.
+
+    Args:
+        sim: simulation engine (for scheduling releases).
+        sigma: bucket depth in bytes; must be at least the largest packet.
+        rho: token rate in bytes/second.
+        sink: downstream object with a ``receive(packet)`` method.
+    """
+
+    def __init__(self, sim: Simulator, sigma: float, rho: float, sink) -> None:
+        if sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive, got {sigma}")
+        if rho <= 0:
+            raise ConfigurationError(f"rho must be positive, got {rho}")
+        self.sim = sim
+        self.sigma = float(sigma)
+        self.rho = float(rho)
+        self.sink = sink
+        self._tokens = float(sigma)
+        self._last_update = sim.now
+        self._queue: deque[Packet] = deque()
+        self._release_pending = False
+        self.shaped_packets = 0
+        self.delayed_packets = 0
+
+    @property
+    def backlog(self) -> int:
+        """Packets currently waiting in the shaping queue."""
+        return len(self._queue)
+
+    def tokens(self) -> float:
+        """Current token level (after catching up to the clock)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        if now > self._last_update:
+            self._tokens = min(self.sigma, self._tokens + self.rho * (now - self._last_update))
+            self._last_update = now
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet from the source; forward now or later."""
+        if packet.size > self.sigma:
+            raise SimulationError(
+                f"packet of {packet.size} bytes can never conform to sigma={self.sigma}"
+            )
+        self._refill()
+        if not self._queue and self._tokens + _EPSILON_BYTES >= packet.size:
+            self._tokens = max(self._tokens - packet.size, 0.0)
+            self.shaped_packets += 1
+            self.sink.receive(packet)
+            return
+        self.delayed_packets += 1
+        self._queue.append(packet)
+        self._schedule_release()
+
+    def _schedule_release(self) -> None:
+        if self._release_pending or not self._queue:
+            return
+        self._refill()
+        deficit = self._queue[0].size - self._tokens
+        delay = max(deficit, 0.0) / self.rho
+        self._release_pending = True
+        self.sim.schedule(delay, self._release)
+
+    def _release(self) -> None:
+        self._release_pending = False
+        self._refill()
+        while self._queue and self._tokens + _EPSILON_BYTES >= self._queue[0].size:
+            packet = self._queue.popleft()
+            self._tokens = max(self._tokens - packet.size, 0.0)
+            self.shaped_packets += 1
+            self.sink.receive(packet)
+        self._schedule_release()
+
+
+class TokenBucketMeter:
+    """Passive ``(sigma, rho)`` conformance meter.
+
+    ``observe(time, size)`` returns whether the arrival is conformant and
+    debits the bucket either way (so a burst of violations does not earn
+    later credit).  ``burst_potential(time)`` is the token level — the
+    process ``sigma_i(t)`` of eq. (3), i.e. the largest burst the flow
+    could still emit instantaneously while remaining conformant.
+    """
+
+    def __init__(self, sigma: float, rho: float, start: float = 0.0) -> None:
+        if sigma <= 0 or rho <= 0:
+            raise ConfigurationError(f"sigma and rho must be positive, got ({sigma}, {rho})")
+        self.sigma = float(sigma)
+        self.rho = float(rho)
+        self._tokens = float(sigma)
+        self._last = float(start)
+
+    def _advance(self, time: float) -> None:
+        if time < self._last - 1e-12:
+            raise SimulationError(f"meter observed time going backwards: {time} < {self._last}")
+        self._tokens = min(self.sigma, self._tokens + self.rho * (time - self._last))
+        self._last = max(time, self._last)
+
+    def burst_potential(self, time: float) -> float:
+        """Token level ``sigma(t)`` at the given time (clamped at >= 0)."""
+        self._advance(time)
+        return max(self._tokens, 0.0)
+
+    def observe(self, time: float, size: float) -> bool:
+        """Record an arrival; True iff it fits the envelope."""
+        self._advance(time)
+        # Byte-scale tolerance: event times accumulate float error, so a
+        # stream emitted exactly at rho can refill fractionally short.
+        conformant = self._tokens >= size - _EPSILON_BYTES
+        self._tokens -= size
+        return conformant

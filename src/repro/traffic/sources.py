@@ -1,0 +1,220 @@
+"""Packet sources.
+
+All sources emit :class:`repro.sim.packet.Packet` objects into a ``sink``
+(an output port or a shaper) via ``sink.receive(packet)``.
+
+* :class:`OnOffSource` — the paper's workload: a Markov-modulated on-off
+  source that transmits maximum-size packets at its peak rate while ON.
+* :class:`CBRSource` — constant bit rate; used for peak-rate-conformant
+  flows (Proposition 1) and as a building block in tests.
+* :class:`GreedySource` — a CBR source faster than the link; emulates the
+  "greedy" flow of Example 1 that always keeps its buffer share full.
+* :class:`TraceSource` — replays an explicit (time, size) schedule;
+  handy for deterministic tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+__all__ = ["OnOffSource", "CBRSource", "GreedySource", "TraceSource"]
+
+#: The paper's packet size: "maximum size (500 bytes) packets".
+DEFAULT_PACKET_SIZE = 500.0
+
+
+class OnOffSource:
+    """Markov-modulated on-off source.
+
+    While ON the source emits ``packet_size`` packets back-to-back at
+    ``peak_rate``; burst lengths are geometric in packets with mean
+    ``mean_burst / packet_size`` (a discretised exponential ON period),
+    and OFF periods are exponential with mean chosen so the long-run
+    average rate equals ``avg_rate``:
+
+        mean_off = (mean_burst / peak) * (peak / avg - 1)
+
+    Args:
+        sim: simulation engine.
+        flow_id: id stamped on emitted packets.
+        peak_rate: ON-state rate, bytes/second.
+        avg_rate: long-run average rate, bytes/second (< peak for on-off
+            behaviour; == peak degenerates to CBR).
+        mean_burst: mean bytes per ON period.
+        sink: downstream ``receive(packet)`` target.
+        rng: numpy random generator (one per source for reproducibility).
+        packet_size: bytes per packet.
+        start: time of the first burst decision.
+        until: stop emitting at this time (None = never stop).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        peak_rate: float,
+        avg_rate: float,
+        mean_burst: float,
+        sink,
+        rng: np.random.Generator,
+        packet_size: float = DEFAULT_PACKET_SIZE,
+        start: float = 0.0,
+        until: float | None = None,
+    ) -> None:
+        if not 0 < avg_rate <= peak_rate:
+            raise ConfigurationError(
+                f"need 0 < avg_rate <= peak_rate, got ({avg_rate}, {peak_rate})"
+            )
+        if mean_burst < packet_size:
+            raise ConfigurationError(
+                f"mean burst {mean_burst} smaller than one packet ({packet_size})"
+            )
+        self.sim = sim
+        self.flow_id = flow_id
+        self.peak_rate = float(peak_rate)
+        self.avg_rate = float(avg_rate)
+        self.mean_burst = float(mean_burst)
+        self.sink = sink
+        self.rng = rng
+        self.packet_size = float(packet_size)
+        self.until = until
+        self.emitted_packets = 0
+        self.emitted_bytes = 0.0
+        self._spacing = self.packet_size / self.peak_rate
+        self._mean_burst_packets = self.mean_burst / self.packet_size
+        mean_on = self.mean_burst / self.peak_rate
+        self._mean_off = mean_on * (self.peak_rate / self.avg_rate - 1.0)
+        # Randomise the initial phase so simultaneous sources do not
+        # synchronise their first bursts.
+        initial_delay = 0.0
+        if self._mean_off > 0:
+            initial_delay = float(rng.exponential(self._mean_off))
+        sim.schedule_at(start + initial_delay, self._begin_burst)
+
+    def _stopped(self) -> bool:
+        return self.until is not None and self.sim.now >= self.until
+
+    def _begin_burst(self) -> None:
+        if self._stopped():
+            return
+        # Geometric number of packets with mean mean_burst_packets (>= 1).
+        p = min(1.0, 1.0 / max(self._mean_burst_packets, 1.0))
+        remaining = int(self.rng.geometric(p))
+        self._emit(remaining)
+
+    def _emit(self, remaining: int) -> None:
+        if self._stopped():
+            return
+        packet = Packet(self.flow_id, self.packet_size, self.sim.now)
+        self.emitted_packets += 1
+        self.emitted_bytes += packet.size
+        self.sink.receive(packet)
+        if remaining > 1:
+            self.sim.schedule(self._spacing, self._emit, remaining - 1)
+        else:
+            # The last packet of the burst "occupies" one spacing at peak
+            # rate before the OFF period starts, so the ON-state rate is
+            # exactly the peak rate.
+            off = self._spacing
+            if self._mean_off > 0:
+                off += float(self.rng.exponential(self._mean_off))
+            self.sim.schedule(off, self._begin_burst)
+
+
+class CBRSource:
+    """Constant-bit-rate source: one packet every ``packet_size / rate``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        rate: float,
+        sink,
+        packet_size: float = DEFAULT_PACKET_SIZE,
+        start: float = 0.0,
+        until: float | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        self.sim = sim
+        self.flow_id = flow_id
+        self.rate = float(rate)
+        self.sink = sink
+        self.packet_size = float(packet_size)
+        self.until = until
+        self.emitted_packets = 0
+        self.emitted_bytes = 0.0
+        self._spacing = self.packet_size / self.rate
+        sim.schedule_at(start, self._emit)
+
+    def _emit(self) -> None:
+        if self.until is not None and self.sim.now >= self.until:
+            return
+        packet = Packet(self.flow_id, self.packet_size, self.sim.now)
+        self.emitted_packets += 1
+        self.emitted_bytes += packet.size
+        self.sink.receive(packet)
+        self.sim.schedule(self._spacing, self._emit)
+
+
+class GreedySource(CBRSource):
+    """A source that offers more than the link can carry.
+
+    Example 1 of the paper analyses a flow that "seeks to greedily always
+    occupy its maximum allowed buffer share"; offering a constant rate at
+    or above the link rate achieves exactly that against any admission
+    policy, since every departure is immediately replaced.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        link_rate: float,
+        sink,
+        overdrive: float = 1.25,
+        packet_size: float = DEFAULT_PACKET_SIZE,
+        start: float = 0.0,
+        until: float | None = None,
+    ) -> None:
+        if overdrive < 1.0:
+            raise ConfigurationError(f"overdrive must be >= 1, got {overdrive}")
+        super().__init__(
+            sim, flow_id, link_rate * overdrive, sink,
+            packet_size=packet_size, start=start, until=until,
+        )
+
+
+class TraceSource:
+    """Replay an explicit arrival schedule of ``(time, size)`` pairs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        schedule: Iterable[tuple[float, float]] | Sequence[tuple[float, float]],
+        sink,
+    ) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self.sink = sink
+        self.emitted_packets = 0
+        self.emitted_bytes = 0.0
+        last = -1.0
+        for time, size in schedule:
+            if time < last:
+                raise ConfigurationError("trace schedule must be time-ordered")
+            last = time
+            sim.schedule_at(time, self._emit, size)
+
+    def _emit(self, size: float) -> None:
+        packet = Packet(self.flow_id, size, self.sim.now)
+        self.emitted_packets += 1
+        self.emitted_bytes += size
+        self.sink.receive(packet)

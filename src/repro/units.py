@@ -1,0 +1,52 @@
+"""Unit conversions used throughout the library.
+
+The paper quotes link and flow rates in Mbit/s and buffer / burst sizes in
+KBytes or MBytes.  Internally the library uses a single canonical system:
+
+* sizes in **bytes** (floats are allowed for fluid quantities),
+* rates in **bytes per second**,
+* time in **seconds**.
+
+Decimal prefixes are used (1 KByte = 1000 bytes, 1 MByte = 10**6 bytes).
+The qualitative results of the paper do not depend on this choice; it keeps
+round paper numbers round.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+
+#: Bytes in one KByte (decimal convention, see module docstring).
+KBYTE = 1_000
+#: Bytes in one MByte.
+MBYTE = 1_000_000
+
+
+def mbps(rate_mbits_per_s: float) -> float:
+    """Convert a rate in Mbit/s (as quoted in the paper) to bytes/second."""
+    return rate_mbits_per_s * 1e6 / BITS_PER_BYTE
+
+
+def to_mbps(rate_bytes_per_s: float) -> float:
+    """Convert a rate in bytes/second back to Mbit/s for reporting."""
+    return rate_bytes_per_s * BITS_PER_BYTE / 1e6
+
+
+def kbytes(size_kbytes: float) -> float:
+    """Convert a size in KBytes to bytes."""
+    return size_kbytes * KBYTE
+
+
+def mbytes(size_mbytes: float) -> float:
+    """Convert a size in MBytes to bytes."""
+    return size_mbytes * MBYTE
+
+
+def to_kbytes(size_bytes: float) -> float:
+    """Convert a size in bytes to KBytes for reporting."""
+    return size_bytes / KBYTE
+
+
+def to_mbytes(size_bytes: float) -> float:
+    """Convert a size in bytes to MBytes for reporting."""
+    return size_bytes / MBYTE

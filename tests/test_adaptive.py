@@ -1,0 +1,98 @@
+"""Adaptive/non-adaptive sharing (the conclusion's sharing-model knob)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveSharingManager
+from repro.errors import ConfigurationError
+
+
+def make_manager(nonadaptive_share=0.25, headroom=200.0):
+    return AdaptiveSharingManager(
+        capacity=1000.0,
+        thresholds={1: 200.0, 2: 200.0, 3: 200.0},
+        headroom=headroom,
+        adaptive_flows={1},
+        nonadaptive_share=nonadaptive_share,
+    )
+
+
+class TestReservationsAreSacred:
+    def test_both_classes_admitted_within_reservation(self):
+        manager = make_manager()
+        assert manager.try_admit(1, 200.0)  # adaptive
+        assert manager.try_admit(2, 200.0)  # non-adaptive
+
+    def test_reserved_traffic_uses_headroom_when_holes_run_dry(self):
+        manager = make_manager()
+        # Adaptive flow 1 takes its reservation and then borrows from the
+        # holes until the fairness cap bites (excess == remaining holes).
+        assert manager.try_admit(1, 200.0)   # reservation: holes -> 600
+        assert manager.try_admit(1, 300.0)   # excess: holes -> 300
+        assert manager.holes == pytest.approx(300.0)
+        # Non-adaptive flow 2's reservation drains the rest of the holes.
+        assert manager.try_admit(2, 200.0)   # holes -> 100
+        # Flow 3's reservation no longer fits in the holes alone; the
+        # remainder must come from the protected headroom.
+        assert manager.try_admit(3, 150.0)
+        assert manager.holes == pytest.approx(0.0)
+        assert manager.headroom == pytest.approx(150.0)
+
+
+class TestExcessAccess:
+    def test_adaptive_flow_borrows_freely(self):
+        manager = make_manager()
+        manager.try_admit(1, 200.0)
+        assert manager.try_admit(1, 300.0)  # 300 excess <= holes
+
+    def test_nonadaptive_flow_capped_at_share_of_holes(self):
+        manager = make_manager(nonadaptive_share=0.25)
+        manager.try_admit(2, 200.0)  # fills reservation; holes = 600
+        # Allowance = 0.25 * 600 = 150: a 100-byte excess packet fits...
+        assert manager.try_admit(2, 100.0)
+        # ... but pushes the excess to 100; another 100 would exceed the
+        # updated allowance 0.25 * 500 = 125 (excess_after = 200 > 125).
+        assert not manager.try_admit(2, 100.0)
+
+    def test_zero_share_confines_nonadaptive_to_threshold(self):
+        manager = make_manager(nonadaptive_share=0.0)
+        manager.try_admit(2, 200.0)
+        assert not manager.try_admit(2, 1.0)
+        # Adaptive flow is unaffected.
+        manager.try_admit(1, 200.0)
+        assert manager.try_admit(1, 100.0)
+
+    def test_share_one_treats_all_flows_alike(self):
+        full = make_manager(nonadaptive_share=1.0)
+        full.try_admit(2, 200.0)
+        assert full.try_admit(2, 300.0)  # same as an adaptive flow
+
+    def test_nonadaptive_never_touches_headroom(self):
+        manager = make_manager(nonadaptive_share=1.0)
+        manager.try_admit(2, 200.0)
+        headroom_before = manager.headroom
+        while manager.try_admit(2, 50.0):
+            pass
+        assert manager.headroom == headroom_before
+
+
+class TestConfiguration:
+    def test_share_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_manager(nonadaptive_share=1.5)
+        with pytest.raises(ConfigurationError):
+            make_manager(nonadaptive_share=-0.1)
+
+    def test_adaptivity_lookup(self):
+        manager = make_manager()
+        assert manager.is_adaptive(1)
+        assert not manager.is_adaptive(2)
+        assert not manager.is_adaptive(42)
+
+    def test_counter_invariant_maintained(self):
+        manager = make_manager()
+        manager.try_admit(1, 200.0)
+        manager.try_admit(2, 150.0)
+        manager.try_admit(1, 250.0)
+        manager.on_depart(1, 200.0)
+        free = manager.capacity - manager.total_occupancy
+        assert manager.holes + manager.headroom == pytest.approx(free)

@@ -1,0 +1,120 @@
+"""Admission control: WFQ vs FIFO schedulability regions."""
+
+import pytest
+
+from repro.analysis.admission import (
+    FIFOAdmission,
+    Rejection,
+    WFQAdmission,
+)
+from repro.errors import AdmissionError
+
+
+class TestWFQAdmission:
+    def test_admits_within_both_constraints(self):
+        control = WFQAdmission(link_rate=1000.0, buffer_size=10_000.0)
+        assert control.admit(sigma=1_000.0, rho=400.0)
+
+    def test_bandwidth_limited_rejection(self):
+        control = WFQAdmission(1000.0, 10_000.0)
+        control.admit(100.0, 900.0)
+        decision = control.check(100.0, 200.0)
+        assert not decision
+        assert decision.reason is Rejection.BANDWIDTH_LIMITED
+
+    def test_buffer_limited_rejection(self):
+        control = WFQAdmission(1000.0, 1_000.0)
+        control.admit(900.0, 100.0)
+        decision = control.check(200.0, 100.0)
+        assert decision.reason is Rejection.BUFFER_LIMITED
+
+    def test_check_does_not_mutate(self):
+        control = WFQAdmission(1000.0, 10_000.0)
+        control.check(100.0, 100.0)
+        assert control.admitted_count == 0
+        assert control.rho_total == 0.0
+
+    def test_full_reservation_allowed(self):
+        # WFQ tolerates sum(rho) == R exactly (eq. 5 is >=).
+        control = WFQAdmission(1000.0, 10_000.0)
+        assert control.admit(100.0, 1000.0)
+
+
+class TestFIFOAdmission:
+    def test_admits_when_buffer_covers_equation9(self):
+        # u = 0.5 -> B must cover 2 * sum(sigma).
+        control = FIFOAdmission(1000.0, 4_000.0)
+        assert control.admit(sigma=1_000.0, rho=500.0)
+
+    def test_buffer_limited_at_high_utilisation(self):
+        # Same flows, same buffer: WFQ admits, FIFO rejects on buffer.
+        fifo = FIFOAdmission(1000.0, 4_000.0)
+        wfq = WFQAdmission(1000.0, 4_000.0)
+        fifo.admit(1_000.0, 500.0)
+        wfq.admit(1_000.0, 500.0)
+        decision_fifo = fifo.check(1_000.0, 450.0)
+        decision_wfq = wfq.check(1_000.0, 450.0)
+        assert decision_wfq.admitted
+        assert not decision_fifo.admitted
+        assert decision_fifo.reason is Rejection.BUFFER_LIMITED
+
+    def test_bandwidth_limited_rejection(self):
+        control = FIFOAdmission(1000.0, 1e12)
+        control.admit(1.0, 990.0)
+        decision = control.check(1.0, 20.0)
+        assert decision.reason is Rejection.BANDWIDTH_LIMITED
+
+    def test_full_reservation_is_buffer_limited(self):
+        # At sum(rho) == R the required buffer is unbounded.
+        control = FIFOAdmission(1000.0, 1e12)
+        decision = control.check(1.0, 1000.0)
+        assert not decision.admitted
+        assert decision.reason is Rejection.BUFFER_LIMITED
+
+    def test_fifo_admits_fewer_flows_than_wfq_when_buffer_tight(self):
+        buffer_size = 10_000.0
+        fifo = FIFOAdmission(1000.0, buffer_size)
+        wfq = WFQAdmission(1000.0, buffer_size)
+        flow = (1_000.0, 90.0)
+        fifo_count = 0
+        while fifo.admit(*flow):
+            fifo_count += 1
+        wfq_count = 0
+        while wfq.admit(*flow):
+            wfq_count += 1
+        assert fifo_count < wfq_count
+
+
+class TestRelease:
+    def test_release_restores_capacity(self):
+        control = WFQAdmission(1000.0, 1_000.0)
+        control.admit(1_000.0, 500.0)
+        assert not control.check(500.0, 100.0).admitted
+        control.release(1_000.0, 500.0)
+        assert control.check(500.0, 100.0).admitted
+
+    def test_release_without_admission_raises(self):
+        control = WFQAdmission(1000.0, 1_000.0)
+        with pytest.raises(AdmissionError):
+            control.release(100.0, 100.0)
+
+    def test_release_more_than_admitted_raises(self):
+        control = WFQAdmission(1000.0, 1_000.0)
+        control.admit(100.0, 100.0)
+        with pytest.raises(AdmissionError):
+            control.release(100.0, 500.0)
+
+
+class TestValidation:
+    def test_invalid_construction(self):
+        with pytest.raises(AdmissionError):
+            WFQAdmission(0.0, 100.0)
+        with pytest.raises(AdmissionError):
+            FIFOAdmission(100.0, 0.0)
+
+    def test_invalid_flow_parameters(self):
+        control = WFQAdmission(1000.0, 1_000.0)
+        with pytest.raises(AdmissionError):
+            control.check(-1.0, 100.0)
+        with pytest.raises(AdmissionError):
+            control.check(100.0, 0.0)

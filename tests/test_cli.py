@@ -1,0 +1,57 @@
+"""Command-line interface (python -m repro)."""
+
+import pathlib
+
+import pytest
+
+import repro.experiments.figures as figures_module
+from repro.__main__ import build_parser, main
+from repro.experiments.config import SweepConfig
+from repro.units import mbytes
+
+TINY = SweepConfig(buffers=(mbytes(0.5),), seeds=(1,), sim_time=0.5)
+
+
+@pytest.fixture(autouse=True)
+def tiny_sweeps(monkeypatch):
+    monkeypatch.setattr(figures_module, "sweep_config", lambda fast=None: TINY)
+
+
+class TestParser:
+    def test_target_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_flags(self):
+        args = build_parser().parse_args(["figure1", "--full", "--out", "x"])
+        assert args.target == "figure1"
+        assert args.full
+        assert args.out == pathlib.Path("x")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "figure13" in out
+
+    def test_unknown_target(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_run_single_figure(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "utilization" in out
+
+    def test_out_directory_archives(self, tmp_path, capsys):
+        assert main(["figure7", "--out", str(tmp_path)]) == 0
+        archived = tmp_path / "figure7.txt"
+        assert archived.exists()
+        assert "Figure 7" in archived.read_text()
+
+    def test_all_runs_every_figure(self, tmp_path, capsys):
+        assert main(["all", "--out", str(tmp_path)]) == 0
+        archived = sorted(path.name for path in tmp_path.glob("figure*.txt"))
+        assert len(archived) == 13

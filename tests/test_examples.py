@@ -1,0 +1,62 @@
+"""Every example script runs end to end and prints its report.
+
+These are smoke tests with assertions on the printed take-aways; the
+examples double as executable documentation, so breaking them breaks the
+README's promises.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "FIFO (no mgmt)" in out
+        assert "FIFO + thresholds" in out
+        assert "Take-away" in out
+
+    def test_sla_protection(self, capsys):
+        out = run_example("sla_protection.py", capsys)
+        # The script itself asserts zero premium drops.
+        assert "premium drops" in out
+        assert "FIFO + threshold (paper)" in out
+
+    def test_excess_sharing(self, capsys):
+        out = run_example("excess_sharing.py", capsys)
+        assert "ratio 8/6" in out
+        assert "WFQ sharing H=2MB" in out
+
+    def test_hybrid_scaling(self, capsys):
+        out = run_example("hybrid_scaling.py", capsys)
+        assert "alpha_i" in out
+        assert "3-queue hybrid + sharing" in out
+        assert "lossless buffer, single FIFO" in out
+
+    def test_admission_control(self, capsys):
+        out = run_example("admission_control.py", capsys)
+        assert "bandwidth-limited" in out
+        assert "buffer-limited" in out
+
+    def test_multihop_backbone(self, capsys):
+        out = run_example("multihop_backbone.py", capsys)
+        assert "per-hop thresholds (paper)" in out
+        assert "SLA-flow drops" in out
+
+    def test_every_example_is_covered(self):
+        scripts = {path.name for path in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py", "sla_protection.py", "excess_sharing.py",
+            "hybrid_scaling.py", "admission_control.py",
+            "multihop_backbone.py",
+        }
+        assert scripts == tested

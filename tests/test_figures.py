@@ -1,0 +1,91 @@
+"""Figure harness: structure and fast-mode execution.
+
+Full qualitative checks live in the benchmarks; here we verify that every
+figure function produces well-formed series.  To keep the suite quick we
+monkeypatch the sweep sizing down to a couple of points.
+"""
+
+import pytest
+
+import repro.experiments.figures as figures_module
+from repro.experiments.config import SweepConfig, full_mode_enabled, sweep_config
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import format_figure
+from repro.units import mbytes
+
+TINY = SweepConfig(buffers=(mbytes(0.5), mbytes(2.0)), seeds=(1,), sim_time=0.6)
+
+
+@pytest.fixture(autouse=True)
+def tiny_sweeps(monkeypatch):
+    monkeypatch.setattr(figures_module, "sweep_config", lambda fast=None: TINY)
+
+
+class TestSweepConfig:
+    def test_fast_mode_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_mode_enabled()
+        config = sweep_config()
+        assert config.sim_time < 20.0
+
+    def test_full_mode_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_mode_enabled()
+        config = sweep_config()
+        assert config.sim_time == 20.0
+        assert len(config.seeds) == 5
+
+    def test_explicit_fast_flag_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert sweep_config(fast=True).sim_time < 20.0
+
+    def test_runs_per_scheme(self):
+        assert TINY.n_runs_per_scheme == 2
+
+
+class TestFigureRegistry:
+    def test_all_thirteen_figures_registered(self):
+        assert sorted(ALL_FIGURES) == sorted(f"figure{i}" for i in range(1, 14))
+
+
+@pytest.mark.parametrize("name", ["figure1", "figure2", "figure4", "figure7"])
+class TestFigureStructure:
+    def test_series_aligned_with_x(self, name):
+        result = ALL_FIGURES[name]()
+        assert result.series
+        for label, points in result.series.items():
+            assert len(points) == len(result.x), label
+
+    def test_report_renders(self, name):
+        result = ALL_FIGURES[name]()
+        text = format_figure(result)
+        assert result.name in text
+        assert result.ylabel in text
+
+
+class TestFigureSemantics:
+    def test_figure1_has_four_schemes(self):
+        result = ALL_FIGURES["figure1"]()
+        assert len(result.series) == 4
+
+    def test_figure3_has_flow6_and_flow8_curves(self):
+        result = ALL_FIGURES["figure3"]()
+        assert any("flow 6" in label for label in result.series)
+        assert any("flow 8" in label for label in result.series)
+
+    def test_figure7_x_axis_is_headroom(self):
+        result = ALL_FIGURES["figure7"]()
+        assert "headroom" in result.xlabel
+
+    def test_figure8_includes_hybrid(self):
+        result = ALL_FIGURES["figure8"]()
+        assert any("Hybrid" in label for label in result.series)
+
+    def test_figure12_splits_conformant_and_moderate(self):
+        result = ALL_FIGURES["figure12"]()
+        assert any("conformant" in label for label in result.series)
+        assert any("moderate" in label for label in result.series)
+
+    def test_figure13_reports_aggressive_flows(self):
+        result = ALL_FIGURES["figure13"]()
+        assert any("aggressive" in label for label in result.series)

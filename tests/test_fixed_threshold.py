@@ -1,0 +1,77 @@
+"""Fixed-partition threshold manager (Sections 2, 3.2)."""
+
+import pytest
+
+from repro.core.fixed_threshold import FixedThresholdManager
+from repro.errors import ConfigurationError
+
+
+class TestAdmission:
+    def test_below_threshold_admitted(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0})
+        assert manager.try_admit(0, 300.0)
+
+    def test_exactly_at_threshold_admitted(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0})
+        assert manager.try_admit(0, 400.0)
+
+    def test_beyond_threshold_dropped(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0})
+        manager.try_admit(0, 400.0)
+        assert not manager.try_admit(0, 100.0)
+
+    def test_threshold_enforced_even_with_free_buffer(self):
+        # The logical partition is the whole point: free space elsewhere
+        # does not help a flow over its own threshold.
+        manager = FixedThresholdManager(10_000.0, {0: 400.0})
+        manager.try_admit(0, 400.0)
+        assert manager.free_space == 9_600.0
+        assert not manager.try_admit(0, 100.0)
+
+    def test_total_capacity_also_enforced(self):
+        # Thresholds can oversubscribe the buffer; the physical capacity
+        # still binds.
+        manager = FixedThresholdManager(1000.0, {0: 800.0, 1: 800.0})
+        assert manager.try_admit(0, 800.0)
+        assert not manager.try_admit(1, 300.0)
+
+    def test_departure_reopens_threshold(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0})
+        manager.try_admit(0, 400.0)
+        manager.on_depart(0, 400.0)
+        assert manager.try_admit(0, 400.0)
+
+    def test_flows_do_not_interfere_below_capacity(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0, 1: 400.0})
+        manager.try_admit(0, 400.0)
+        assert manager.try_admit(1, 400.0)
+
+
+class TestUnknownFlows:
+    def test_unknown_flow_dropped_by_default(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0})
+        assert not manager.try_admit(99, 100.0)
+
+    def test_default_threshold_applies_to_unknown_flows(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0}, default_threshold=200.0)
+        assert manager.try_admit(99, 200.0)
+        assert not manager.try_admit(99, 100.0)
+
+    def test_threshold_lookup(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0}, default_threshold=50.0)
+        assert manager.threshold(0) == 400.0
+        assert manager.threshold(1) == 50.0
+
+
+class TestValidation:
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedThresholdManager(1000.0, {0: -1.0})
+
+    def test_negative_default_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedThresholdManager(1000.0, {}, default_threshold=-1.0)
+
+    def test_zero_threshold_blocks_flow(self):
+        manager = FixedThresholdManager(1000.0, {0: 0.0})
+        assert not manager.try_admit(0, 1.0)

@@ -1,0 +1,114 @@
+"""Fluid two-flow dynamics (Example 1, Section 2.1)."""
+
+import pytest
+
+from repro.analysis.fluid import fluid_limits, two_flow_fluid
+from repro.errors import ConfigurationError
+
+
+class TestRecursion:
+    def test_first_interval_flow1_starved(self):
+        # Between t0 and t1 flow 1 receives no service: R_1^1 = 0, R_1^2 = R.
+        trajectory = two_flow_fluid(rho1=250.0, buffer_size=1000.0, link_rate=1000.0)
+        first = trajectory.intervals[0]
+        assert first.rate_flow1 == pytest.approx(0.0)
+        assert first.rate_flow2 == pytest.approx(1000.0)
+
+    def test_first_interval_length_is_b2_over_r(self):
+        trajectory = two_flow_fluid(rho1=250.0, buffer_size=1000.0, link_rate=1000.0)
+        b2 = 1000.0 - 1000.0 * 250.0 / 1000.0
+        assert trajectory.intervals[0].length == pytest.approx(b2 / 1000.0)
+
+    def test_recursion_rule(self):
+        # l_{i+1} = (rho1/R) l_i + B2/R
+        trajectory = two_flow_fluid(rho1=250.0, buffer_size=1000.0, link_rate=1000.0)
+        b2 = 750.0
+        for prev, nxt in zip(trajectory.intervals, trajectory.intervals[1:]):
+            assert nxt.length == pytest.approx(0.25 * prev.length + b2 / 1000.0)
+
+    def test_second_interval_rate_below_guarantee(self):
+        # The paper notes R_2^1 = rho1 R / (rho1 + R) < rho1.
+        trajectory = two_flow_fluid(rho1=250.0, buffer_size=1000.0, link_rate=1000.0)
+        second = trajectory.intervals[1]
+        assert second.rate_flow1 == pytest.approx(250.0 * 1000.0 / 1250.0)
+        assert second.rate_flow1 < 250.0
+
+    def test_intervals_are_contiguous(self):
+        trajectory = two_flow_fluid(rho1=100.0, buffer_size=500.0, link_rate=1000.0)
+        for prev, nxt in zip(trajectory.intervals, trajectory.intervals[1:]):
+            assert nxt.start == pytest.approx(prev.end)
+
+    def test_rates_sum_to_link_rate(self):
+        trajectory = two_flow_fluid(rho1=400.0, buffer_size=2000.0, link_rate=1000.0)
+        for interval in trajectory.intervals:
+            assert interval.rate_flow1 + interval.rate_flow2 == pytest.approx(1000.0)
+
+
+class TestConvergence:
+    def test_flow1_rate_converges_to_guarantee(self):
+        trajectory = two_flow_fluid(
+            rho1=250.0, buffer_size=1000.0, link_rate=1000.0, n_intervals=60
+        )
+        assert trajectory.intervals[-1].rate_flow1 == pytest.approx(250.0, rel=1e-9)
+
+    def test_flow2_rate_converges_to_residual(self):
+        trajectory = two_flow_fluid(
+            rho1=250.0, buffer_size=1000.0, link_rate=1000.0, n_intervals=60
+        )
+        assert trajectory.intervals[-1].rate_flow2 == pytest.approx(750.0, rel=1e-9)
+
+    def test_interval_length_converges(self):
+        trajectory = two_flow_fluid(
+            rho1=250.0, buffer_size=1000.0, link_rate=1000.0, n_intervals=60
+        )
+        assert trajectory.intervals[-1].length == pytest.approx(
+            trajectory.limit_length, rel=1e-9
+        )
+
+    def test_limits_match_closed_form(self):
+        limit_length, rate1, rate2 = fluid_limits(250.0, 1000.0, 1000.0)
+        b2 = 750.0
+        assert limit_length == pytest.approx(b2 / 750.0)
+        assert rate1 == 250.0
+        assert rate2 == 750.0
+
+    def test_convergence_is_monotone_increasing_for_flow1(self):
+        trajectory = two_flow_fluid(
+            rho1=250.0, buffer_size=1000.0, link_rate=1000.0, n_intervals=20
+        )
+        rates = [interval.rate_flow1 for interval in trajectory.intervals]
+        assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+
+
+class TestLosslessness:
+    def test_flow1_occupancy_never_exceeds_threshold(self):
+        # The sufficiency direction of Proposition 1: Q1 stays below
+        # B1 = B rho1 / R in every interval.
+        trajectory = two_flow_fluid(
+            rho1=250.0, buffer_size=1000.0, link_rate=1000.0, n_intervals=100
+        )
+        for interval in trajectory.intervals:
+            assert interval.occupancy_flow1_end <= trajectory.threshold_flow1 + 1e-9
+
+    def test_occupancy_approaches_threshold_asymptotically(self):
+        # "flow 1 asymptotically fills its maximum allowed share of buffer"
+        trajectory = two_flow_fluid(
+            rho1=250.0, buffer_size=1000.0, link_rate=1000.0, n_intervals=80
+        )
+        assert trajectory.intervals[-1].occupancy_flow1_end == pytest.approx(
+            trajectory.threshold_flow1, rel=1e-9
+        )
+
+
+class TestValidation:
+    def test_rho1_must_be_below_link_rate(self):
+        with pytest.raises(ConfigurationError):
+            two_flow_fluid(rho1=1000.0, buffer_size=1000.0, link_rate=1000.0)
+
+    def test_positive_buffer_required(self):
+        with pytest.raises(ConfigurationError):
+            two_flow_fluid(rho1=100.0, buffer_size=0.0, link_rate=1000.0)
+
+    def test_at_least_one_interval(self):
+        with pytest.raises(ConfigurationError):
+            two_flow_fluid(100.0, 1000.0, 1000.0, n_intervals=0)

@@ -1,0 +1,116 @@
+"""Fluid GPS reference simulator."""
+
+import pytest
+
+from repro.analysis.gps import GPSArrival, gps_finish_times
+from repro.errors import ConfigurationError
+
+
+class TestSingleFlow:
+    def test_one_packet(self):
+        finishes = gps_finish_times([(0.0, 1, 1000.0)], {1: 1.0}, rate=1000.0)
+        assert finishes[0].finish == pytest.approx(1.0)
+
+    def test_back_to_back_packets(self):
+        arrivals = [(0.0, 1, 500.0), (0.0, 1, 500.0)]
+        finishes = gps_finish_times(arrivals, {1: 1.0}, rate=1000.0)
+        assert finishes[0].finish == pytest.approx(0.5)
+        assert finishes[1].finish == pytest.approx(1.0)
+
+    def test_idle_gap_respected(self):
+        arrivals = [(0.0, 1, 500.0), (5.0, 1, 500.0)]
+        finishes = gps_finish_times(arrivals, {1: 1.0}, rate=1000.0)
+        assert finishes[0].finish == pytest.approx(0.5)
+        assert finishes[1].finish == pytest.approx(5.5)
+
+    def test_lone_flow_gets_full_rate_regardless_of_weight(self):
+        slow = gps_finish_times([(0.0, 1, 1000.0)], {1: 0.01}, rate=1000.0)
+        assert slow[0].finish == pytest.approx(1.0)
+
+
+class TestSharing:
+    def test_equal_weights_serve_simultaneously(self):
+        # Two packets arriving together with equal weights: both drain at
+        # R/2 and finish together at 2 * L / R.
+        arrivals = [(0.0, 1, 500.0), (0.0, 2, 500.0)]
+        finishes = gps_finish_times(arrivals, {1: 1.0, 2: 1.0}, rate=1000.0)
+        assert finishes[0].finish == pytest.approx(1.0)
+        assert finishes[1].finish == pytest.approx(1.0)
+
+    def test_weighted_split(self):
+        # Weights 3:1 -> flow 1 drains at 750, flow 2 at 250 until flow 1
+        # empties at t = 1000/750; then flow 2 gets the full rate.
+        arrivals = [(0.0, 1, 1000.0), (0.0, 2, 1000.0)]
+        finishes = gps_finish_times(arrivals, {1: 3.0, 2: 1.0}, rate=1000.0)
+        t1 = 1000.0 / 750.0
+        assert finishes[0].finish == pytest.approx(t1)
+        served_flow2 = 250.0 * t1
+        assert finishes[1].finish == pytest.approx(t1 + (1000.0 - served_flow2) / 1000.0)
+
+    def test_service_proportional_over_constant_backlog(self):
+        # Saturate both flows; compare fluid finishing of equal-position
+        # boundaries: flow with weight 2 crosses 2x the bytes.
+        arrivals = []
+        for _ in range(10):
+            arrivals.append((0.0, 1, 100.0))
+        for _ in range(10):
+            arrivals.append((0.0, 2, 100.0))
+        finishes = gps_finish_times(arrivals, {1: 2.0, 2: 1.0}, rate=300.0)
+        flow1 = [f.finish for f in finishes if f.arrival.flow_id == 1]
+        flow2 = [f.finish for f in finishes if f.arrival.flow_id == 2]
+        # While both backlogged, flow 1 crosses boundaries twice as fast.
+        assert flow1[1] == pytest.approx(flow2[0])  # 200 B @2w == 100 B @1w
+
+    def test_late_arrival_shares_remaining_capacity(self):
+        arrivals = [(0.0, 1, 1000.0), (0.5, 2, 250.0)]
+        finishes = gps_finish_times(arrivals, {1: 1.0, 2: 1.0}, rate=1000.0)
+        # Flow 1 alone until 0.5 (500 B served); then both at 500 B/s.
+        # Flow 2 finishes its 250 B at t = 1.0; flow 1 then finishes the
+        # last 250 B at full rate: 1.0 + 0.25.
+        assert finishes[1].finish == pytest.approx(1.0)
+        assert finishes[0].finish == pytest.approx(1.25)
+
+
+class TestConservation:
+    def test_total_work_conserving(self):
+        arrivals = [(0.0, 1, 400.0), (0.0, 2, 400.0), (0.1, 3, 200.0)]
+        finishes = gps_finish_times(
+            arrivals, {1: 1.0, 2: 2.0, 3: 3.0}, rate=1000.0
+        )
+        # Busy period: all 1000 bytes arrive by 0.1 < busy end, so the
+        # last fluid finish is exactly total bytes / rate.
+        assert max(f.finish for f in finishes) == pytest.approx(1.0)
+
+    def test_finish_never_before_arrival(self):
+        arrivals = [(0.0, 1, 100.0), (0.2, 2, 300.0), (0.4, 1, 100.0)]
+        finishes = gps_finish_times(arrivals, {1: 1.0, 2: 1.0}, rate=1000.0)
+        for entry in finishes:
+            assert entry.finish >= entry.arrival.time
+
+    def test_per_flow_finishes_monotone(self):
+        arrivals = [(0.0, 1, 300.0), (0.1, 1, 300.0), (0.2, 1, 300.0)]
+        finishes = gps_finish_times(arrivals, {1: 1.0}, rate=1000.0)
+        times = [f.finish for f in finishes]
+        assert times == sorted(times)
+
+
+class TestValidation:
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gps_finish_times([(0.0, 9, 100.0)], {1: 1.0}, rate=1000.0)
+
+    def test_unordered_arrivals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gps_finish_times(
+                [(1.0, 1, 100.0), (0.0, 1, 100.0)], {1: 1.0}, rate=1000.0
+            )
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gps_finish_times([(0.0, 1, 100.0)], {1: 1.0}, rate=0.0)
+
+    def test_gps_arrival_objects_accepted(self):
+        finishes = gps_finish_times(
+            [GPSArrival(0.0, 1, 500.0)], {1: 1.0}, rate=1000.0
+        )
+        assert finishes[0].finish == pytest.approx(0.5)

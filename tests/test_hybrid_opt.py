@@ -1,0 +1,166 @@
+"""Hybrid rate allocation and buffer sizing (Proposition 3, eqs. 11-19)."""
+
+import math
+
+import pytest
+
+from repro.analysis.hybrid_opt import (
+    QueueRequirement,
+    buffer_savings,
+    buffer_savings_identity,
+    hybrid_buffer_for_allocation,
+    hybrid_min_buffers,
+    hybrid_total_buffer,
+    optimal_alphas,
+    queue_min_buffer,
+    queue_rates,
+)
+from repro.errors import ConfigurationError
+
+QUEUES = [
+    QueueRequirement(sigma_hat=150_000.0, rho_hat=750_000.0),
+    QueueRequirement(sigma_hat=300_000.0, rho_hat=3_000_000.0),
+    QueueRequirement(sigma_hat=150_000.0, rho_hat=350_000.0),
+]
+LINK = 6_000_000.0
+
+
+class TestOptimalAlphas:
+    def test_proposition3_formula(self):
+        alphas = optimal_alphas(QUEUES)
+        weights = [math.sqrt(q.sigma_hat * q.rho_hat) for q in QUEUES]
+        total = sum(weights)
+        for alpha, weight in zip(alphas, weights):
+            assert alpha == pytest.approx(weight / total)
+
+    def test_alphas_sum_to_one(self):
+        assert sum(optimal_alphas(QUEUES)) == pytest.approx(1.0)
+
+    def test_single_queue_gets_everything(self):
+        assert optimal_alphas(QUEUES[:1]) == [1.0]
+
+    def test_symmetric_queues_split_equally(self):
+        twins = [QueueRequirement(100.0, 200.0), QueueRequirement(100.0, 200.0)]
+        assert optimal_alphas(twins) == pytest.approx([0.5, 0.5])
+
+
+class TestQueueRates:
+    def test_rates_sum_to_link_rate(self):
+        rates = queue_rates(QUEUES, LINK)
+        assert sum(rates) == pytest.approx(LINK)
+
+    def test_each_queue_gets_at_least_its_reservation(self):
+        for rate, queue in zip(queue_rates(QUEUES, LINK), QUEUES):
+            assert rate > queue.rho_hat
+
+    def test_custom_alphas_respected(self):
+        rates = queue_rates(QUEUES, LINK, alphas=[0.5, 0.25, 0.25])
+        excess = LINK - sum(q.rho_hat for q in QUEUES)
+        assert rates[0] == pytest.approx(QUEUES[0].rho_hat + 0.5 * excess)
+
+    def test_alphas_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            queue_rates(QUEUES, LINK, alphas=[0.5, 0.25, 0.1])
+
+    def test_overloaded_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            queue_rates(QUEUES, 1_000_000.0)
+
+
+class TestBufferFormulas:
+    def test_equation11(self):
+        queue = QUEUES[0]
+        rate = 1_000_000.0
+        assert queue_min_buffer(queue, rate) == pytest.approx(
+            rate * queue.sigma_hat / (rate - queue.rho_hat)
+        )
+
+    def test_equation11_requires_rate_above_reservation(self):
+        with pytest.raises(ConfigurationError):
+            queue_min_buffer(QUEUES[0], QUEUES[0].rho_hat)
+
+    def test_equation18_closed_form(self):
+        # B_i = sigma_i + S sqrt(sigma_i rho_i) / (R - rho)
+        buffers = hybrid_min_buffers(QUEUES, LINK)
+        s = sum(math.sqrt(q.sigma_hat * q.rho_hat) for q in QUEUES)
+        excess = LINK - sum(q.rho_hat for q in QUEUES)
+        for buffer_size, queue in zip(buffers, QUEUES):
+            expected = queue.sigma_hat + s * math.sqrt(
+                queue.sigma_hat * queue.rho_hat
+            ) / excess
+            assert buffer_size == pytest.approx(expected)
+
+    def test_equation19_total(self):
+        # B_hybrid = sigma + S^2 / (R - rho)
+        s = sum(math.sqrt(q.sigma_hat * q.rho_hat) for q in QUEUES)
+        sigma = sum(q.sigma_hat for q in QUEUES)
+        rho = sum(q.rho_hat for q in QUEUES)
+        assert hybrid_total_buffer(QUEUES, LINK) == pytest.approx(
+            sigma + s * s / (LINK - rho)
+        )
+
+    def test_total_is_sum_of_queue_buffers(self):
+        assert hybrid_total_buffer(QUEUES, LINK) == pytest.approx(
+            sum(hybrid_min_buffers(QUEUES, LINK))
+        )
+
+
+class TestOptimality:
+    def test_optimal_allocation_beats_alternatives(self):
+        best = hybrid_total_buffer(QUEUES, LINK)
+        for alphas in ([0.4, 0.4, 0.2], [0.1, 0.8, 0.1], [1 / 3] * 3):
+            assert hybrid_buffer_for_allocation(QUEUES, LINK, alphas) >= best - 1e-6
+
+    def test_proportional_split_matches_single_fifo(self):
+        # alpha_i = rho_i / rho gives no saving: B_hybrid == B_FIFO.
+        rho = sum(q.rho_hat for q in QUEUES)
+        alphas = [q.rho_hat / rho for q in QUEUES]
+        sigma = sum(q.sigma_hat for q in QUEUES)
+        b_fifo = LINK * sigma / (LINK - rho)
+        assert hybrid_buffer_for_allocation(QUEUES, LINK, alphas) == pytest.approx(
+            b_fifo
+        )
+
+
+class TestSavings:
+    def test_savings_non_negative(self):
+        assert buffer_savings(QUEUES, LINK) >= 0.0
+
+    def test_equation17_identity(self):
+        assert buffer_savings(QUEUES, LINK) == pytest.approx(
+            buffer_savings_identity(QUEUES, LINK)
+        )
+
+    def test_no_savings_for_proportional_queues(self):
+        # sigma_i / rho_i constant -> every pairwise term vanishes.
+        proportional = [
+            QueueRequirement(100.0, 1000.0),
+            QueueRequirement(200.0, 2000.0),
+            QueueRequirement(50.0, 500.0),
+        ]
+        assert buffer_savings(proportional, LINK) == pytest.approx(0.0, abs=1e-6)
+
+    def test_savings_grow_with_heterogeneity(self):
+        homogeneous = [QueueRequirement(100.0, 1000.0), QueueRequirement(100.0, 1000.0)]
+        heterogeneous = [QueueRequirement(10.0, 1000.0), QueueRequirement(190.0, 1000.0)]
+        assert buffer_savings(heterogeneous, 10_000.0) > buffer_savings(
+            homogeneous, 10_000.0
+        )
+
+    def test_hybrid_never_needs_more_than_single_fifo(self):
+        sigma = sum(q.sigma_hat for q in QUEUES)
+        rho = sum(q.rho_hat for q in QUEUES)
+        b_fifo = LINK * sigma / (LINK - rho)
+        assert hybrid_total_buffer(QUEUES, LINK) <= b_fifo + 1e-9
+
+
+class TestQueueRequirement:
+    def test_geometric_weight(self):
+        queue = QueueRequirement(sigma_hat=400.0, rho_hat=100.0)
+        assert queue.geometric_weight == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueueRequirement(sigma_hat=0.0, rho_hat=1.0)
+        with pytest.raises(ConfigurationError):
+            QueueRequirement(sigma_hat=1.0, rho_hat=0.0)

@@ -1,0 +1,78 @@
+"""BufferManager base accounting."""
+
+import pytest
+
+from repro.core.occupancy import BufferManager
+from repro.core.tail_drop import TailDropManager
+from repro.errors import ConfigurationError, SimulationError
+
+
+class AdmitAll(BufferManager):
+    """Test double that bypasses the capacity check in the predicate."""
+
+    def _admits(self, flow_id, size):
+        return True
+
+
+class TestConstruction:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            TailDropManager(0.0)
+
+    def test_capacity_stored_as_float(self):
+        assert TailDropManager(1000).capacity == 1000.0
+
+
+class TestAccounting:
+    def test_occupancy_starts_empty(self):
+        manager = TailDropManager(1000.0)
+        assert manager.total_occupancy == 0.0
+        assert manager.occupancy(5) == 0.0
+        assert manager.free_space == 1000.0
+
+    def test_admit_charges_flow_and_total(self):
+        manager = TailDropManager(1000.0)
+        assert manager.try_admit(1, 300.0)
+        assert manager.occupancy(1) == 300.0
+        assert manager.total_occupancy == 300.0
+        assert manager.free_space == 700.0
+
+    def test_departure_releases(self):
+        manager = TailDropManager(1000.0)
+        manager.try_admit(1, 300.0)
+        manager.on_depart(1, 300.0)
+        assert manager.occupancy(1) == 0.0
+        assert manager.total_occupancy == 0.0
+
+    def test_flows_tracked_independently(self):
+        manager = TailDropManager(1000.0)
+        manager.try_admit(1, 300.0)
+        manager.try_admit(2, 200.0)
+        assert manager.occupancy(1) == 300.0
+        assert manager.occupancy(2) == 200.0
+        assert manager.total_occupancy == 500.0
+
+    def test_rejected_packet_changes_nothing(self):
+        manager = TailDropManager(500.0)
+        manager.try_admit(1, 400.0)
+        assert not manager.try_admit(2, 200.0)
+        assert manager.occupancy(2) == 0.0
+        assert manager.total_occupancy == 400.0
+
+
+class TestInvariantEnforcement:
+    def test_departure_without_admission_raises(self):
+        manager = TailDropManager(1000.0)
+        with pytest.raises(SimulationError):
+            manager.on_depart(1, 100.0)
+
+    def test_non_positive_size_raises(self):
+        manager = TailDropManager(1000.0)
+        with pytest.raises(SimulationError):
+            manager.try_admit(1, 0.0)
+
+    def test_policy_admitting_beyond_capacity_is_caught(self):
+        manager = AdmitAll(100.0)
+        manager.try_admit(1, 80.0)
+        with pytest.raises(SimulationError):
+            manager.try_admit(1, 80.0)

@@ -1,0 +1,127 @@
+"""Property-based tests: adaptive/non-adaptive sharing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveSharingManager
+from repro.core.shared_headroom import SharedHeadroomManager
+
+CAPACITY = 10_000.0
+
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+thresholds_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=4),
+    st.floats(min_value=0.0, max_value=4000.0, allow_nan=False),
+    max_size=5,
+)
+
+shares = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+headrooms = st.floats(min_value=0.0, max_value=12_000.0, allow_nan=False)
+adaptive_sets = st.sets(st.integers(min_value=0, max_value=4), max_size=5)
+
+
+def drive(manager, ops):
+    queued = []
+    for flow_id, size, depart_first in ops:
+        if depart_first and queued:
+            manager.on_depart(*queued.pop(0))
+        if manager.try_admit(flow_id, size):
+            queued.append((flow_id, size))
+        yield queued
+
+
+class TestAdaptiveInvariants:
+    @given(ops=operations, thresholds=thresholds_strategy, share=shares,
+           headroom=headrooms, adaptive=adaptive_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_counter_invariant(self, ops, thresholds, share, headroom, adaptive):
+        manager = AdaptiveSharingManager(
+            CAPACITY, thresholds, headroom, adaptive, nonadaptive_share=share
+        )
+        for _ in drive(manager, ops):
+            free = manager.capacity - manager.total_occupancy
+            assert abs(manager.holes + manager.headroom - free) < 1e-3
+            assert manager.headroom <= manager.headroom_cap + 1e-9
+
+    @given(ops=operations, thresholds=thresholds_strategy,
+           headroom=headrooms, adaptive=adaptive_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_share_one_equals_plain_sharing(self, ops, thresholds, headroom,
+                                            adaptive):
+        # With nonadaptive_share = 1 the adaptivity tags are irrelevant:
+        # decisions coincide with SharedHeadroomManager step by step.
+        adaptive_manager = AdaptiveSharingManager(
+            CAPACITY, thresholds, headroom, adaptive, nonadaptive_share=1.0
+        )
+        plain = SharedHeadroomManager(CAPACITY, thresholds, headroom)
+        queued_a, queued_p = [], []
+        for flow_id, size, depart_first in ops:
+            if depart_first and queued_a:
+                adaptive_manager.on_depart(*queued_a.pop(0))
+            if depart_first and queued_p:
+                plain.on_depart(*queued_p.pop(0))
+            decision_a = adaptive_manager.try_admit(flow_id, size)
+            decision_p = plain.try_admit(flow_id, size)
+            assert decision_a == decision_p
+            if decision_a:
+                queued_a.append((flow_id, size))
+            if decision_p:
+                queued_p.append((flow_id, size))
+
+    @given(ops=operations, thresholds=thresholds_strategy,
+           headroom=headrooms, share=shares)
+    @settings(max_examples=60, deadline=None)
+    def test_all_adaptive_ignores_share(self, ops, thresholds, headroom, share):
+        # If every flow is adaptive, the share parameter must not matter.
+        full = AdaptiveSharingManager(
+            CAPACITY, thresholds, headroom, {0, 1, 2, 3, 4},
+            nonadaptive_share=share,
+        )
+        reference = SharedHeadroomManager(CAPACITY, thresholds, headroom)
+        queued_f, queued_r = [], []
+        for flow_id, size, depart_first in ops:
+            if depart_first and queued_f:
+                full.on_depart(*queued_f.pop(0))
+            if depart_first and queued_r:
+                reference.on_depart(*queued_r.pop(0))
+            decision_f = full.try_admit(flow_id, size)
+            decision_r = reference.try_admit(flow_id, size)
+            assert decision_f == decision_r
+            if decision_f:
+                queued_f.append((flow_id, size))
+            if decision_r:
+                queued_r.append((flow_id, size))
+
+    @given(ops=operations, thresholds=thresholds_strategy, share=shares,
+           headroom=headrooms, adaptive=adaptive_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_reservations_always_honoured_when_space_exists(
+        self, ops, thresholds, share, headroom, adaptive
+    ):
+        # A within-reservation packet is admitted iff it fits, regardless
+        # of adaptivity class — reservations never depend on the tag.
+        manager = AdaptiveSharingManager(
+            CAPACITY, thresholds, headroom, adaptive, nonadaptive_share=share
+        )
+        queued = []
+        for flow_id, size, depart_first in ops:
+            if depart_first and queued:
+                manager.on_depart(*queued.pop(0))
+            within = (
+                manager.occupancy(flow_id) + size <= manager.threshold(flow_id)
+            )
+            fits = manager.total_occupancy + size <= manager.capacity + 1e-9
+            admitted = manager.try_admit(flow_id, size)
+            if within:
+                assert admitted == fits
+            if admitted:
+                queued.append((flow_id, size))

@@ -1,0 +1,93 @@
+"""Property-based tests: fluid GPS invariants over random arrivals."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.gps import gps_finish_times
+
+RATE = 10_000.0
+WEIGHTS = {0: 1.0, 1: 2.5, 2: 7.0}
+
+arrivals_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.5, allow_nan=False),   # gap
+        st.integers(min_value=0, max_value=2),
+        st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def to_absolute(arrivals):
+    time = 0.0
+    result = []
+    for gap, flow_id, size in arrivals:
+        time += gap
+        result.append((time, flow_id, size))
+    return result
+
+
+class TestGPSInvariants:
+    @given(arrivals=arrivals_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_finish_after_arrival_plus_full_rate_service(self, arrivals):
+        normalized = to_absolute(arrivals)
+        finishes = gps_finish_times(normalized, WEIGHTS, RATE)
+        for (time, _flow, size), entry in zip(normalized, finishes):
+            # Even alone, a packet needs size/R; GPS never beats that for
+            # the last packet of a flow's backlog.
+            assert entry.finish >= time - 1e-9
+
+    @given(arrivals=arrivals_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_per_flow_finishes_monotone(self, arrivals):
+        normalized = to_absolute(arrivals)
+        finishes = gps_finish_times(normalized, WEIGHTS, RATE)
+        last = {}
+        for entry in finishes:
+            flow_id = entry.arrival.flow_id
+            if flow_id in last:
+                assert entry.finish >= last[flow_id] - 1e-9
+            last[flow_id] = entry.finish
+
+    @given(arrivals=arrivals_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_work_conservation_upper_bound(self, arrivals):
+        # The server is never idle while work remains, so everything is
+        # done by last_arrival + total_bytes / rate.
+        normalized = to_absolute(arrivals)
+        finishes = gps_finish_times(normalized, WEIGHTS, RATE)
+        total_bytes = sum(size for _, _, size in normalized)
+        last_arrival = normalized[-1][0]
+        bound = last_arrival + total_bytes / RATE
+        assert max(entry.finish for entry in finishes) <= bound + 1e-6
+
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
+            min_size=1, max_size=30,
+        ),
+        flows=st.lists(st.integers(min_value=0, max_value=2), min_size=30,
+                       max_size=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_single_busy_period_exactly_total_over_rate(self, sizes, flows):
+        # All arrivals at t = 0: one busy period, the last fluid finish is
+        # exactly total bytes / rate (work conservation, tight).
+        normalized = [(0.0, flows[i], size) for i, size in enumerate(sizes)]
+        finishes = gps_finish_times(normalized, WEIGHTS, RATE)
+        total = sum(sizes)
+        assert max(e.finish for e in finishes) <= total / RATE + 1e-6
+        assert max(e.finish for e in finishes) >= total / RATE - 1e-6
+
+    @given(arrivals=arrivals_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_rate_scales_time(self, arrivals):
+        normalized = to_absolute(arrivals)
+        # Compress arrival times by 2 and double the rate: finishes halve.
+        slow = gps_finish_times(normalized, WEIGHTS, RATE)
+        compressed = [(t / 2.0, f, s) for t, f, s in normalized]
+        fast = gps_finish_times(compressed, WEIGHTS, 2.0 * RATE)
+        for entry_slow, entry_fast in zip(slow, fast):
+            assert abs(entry_fast.finish - entry_slow.finish / 2.0) < 1e-6

@@ -1,0 +1,69 @@
+"""Property-based tests: scenario-spec parsing over random inputs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.spec import ScenarioSpec
+from repro.units import kbytes, mbps, mbytes
+
+flow_dicts = st.builds(
+    lambda peak, ratio, bucket, token, conformant: {
+        "peak_mbps": peak,
+        "avg_mbps": peak * ratio,
+        "bucket_kb": bucket,
+        "token_mbps": token,
+        "conformant": conformant,
+    },
+    peak=st.floats(min_value=1.0, max_value=40.0, allow_nan=False),
+    ratio=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    bucket=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+    token=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    conformant=st.booleans(),
+)
+
+spec_dicts = st.builds(
+    lambda flows, buffer_mb, seeds, headroom_mb: {
+        "name": "prop",
+        "scheme": "FIFO_THRESHOLD",
+        "buffer_mb": buffer_mb,
+        "workload": flows,
+        "seeds": seeds,
+        "headroom_mb": headroom_mb,
+        "metrics": ["utilization", "loss:conformant"],
+    },
+    flows=st.lists(flow_dicts, min_size=1, max_size=6),
+    buffer_mb=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    seeds=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                   max_size=3, unique=True),
+    headroom_mb=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+)
+
+
+class TestSpecParsing:
+    @given(raw=spec_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_units_convert_correctly(self, raw):
+        spec = ScenarioSpec.from_dict(raw)
+        assert spec.buffer_bytes == mbytes(raw["buffer_mb"])
+        assert spec.headroom == mbytes(raw["headroom_mb"])
+        for flow, flow_raw in zip(spec.flows, raw["workload"]):
+            assert flow.peak_rate == mbps(flow_raw["peak_mbps"])
+            assert flow.bucket == kbytes(flow_raw["bucket_kb"])
+            assert flow.token_rate == mbps(flow_raw["token_mbps"])
+            assert flow.conformant == flow_raw["conformant"]
+
+    @given(raw=spec_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_flow_ids_sequential_and_conformant_set_consistent(self, raw):
+        spec = ScenarioSpec.from_dict(raw)
+        assert [flow.flow_id for flow in spec.flows] == list(range(len(spec.flows)))
+        assert set(spec.conformant_ids) == {
+            flow.flow_id for flow in spec.flows if flow.conformant
+        }
+
+    @given(raw=spec_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_parsing_is_idempotent(self, raw):
+        first = ScenarioSpec.from_dict(raw)
+        second = ScenarioSpec.from_dict(raw)
+        assert first == second

@@ -1,0 +1,142 @@
+"""Scheme factory: correct scheduler/manager combinations and thresholds."""
+
+import pytest
+
+from repro.core.fixed_threshold import FixedThresholdManager
+from repro.core.hybrid import HybridBufferManager
+from repro.core.shared_headroom import SharedHeadroomManager
+from repro.core.tail_drop import TailDropManager
+from repro.errors import ConfigurationError
+from repro.experiments.schemes import DEFAULT_HEADROOM, Scheme, build_scheme
+from repro.experiments.workloads import CASE1_GROUPS, LINK_RATE, table1_flows
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.hybrid import HybridScheduler
+from repro.sched.scfq import SCFQScheduler
+from repro.sched.wfq import WFQScheduler
+from repro.sim.engine import Simulator
+from repro.units import mbytes
+
+FLOWS = table1_flows()
+BUFFER = mbytes(2.0)
+
+
+def build(scheme, **kwargs):
+    return build_scheme(Simulator(), scheme, FLOWS, BUFFER, LINK_RATE, **kwargs)
+
+
+class TestComponentSelection:
+    @pytest.mark.parametrize(
+        "scheme,sched_type,mgr_type",
+        [
+            (Scheme.FIFO_NONE, FIFOScheduler, TailDropManager),
+            (Scheme.WFQ_NONE, WFQScheduler, TailDropManager),
+            (Scheme.FIFO_THRESHOLD, FIFOScheduler, FixedThresholdManager),
+            (Scheme.WFQ_THRESHOLD, WFQScheduler, FixedThresholdManager),
+            (Scheme.FIFO_SHARING, FIFOScheduler, SharedHeadroomManager),
+            (Scheme.WFQ_SHARING, WFQScheduler, SharedHeadroomManager),
+            (Scheme.SCFQ_THRESHOLD, SCFQScheduler, FixedThresholdManager),
+            (Scheme.SCFQ_SHARING, SCFQScheduler, SharedHeadroomManager),
+        ],
+    )
+    def test_flat_schemes(self, scheme, sched_type, mgr_type):
+        result = build(scheme)
+        assert isinstance(result.scheduler, sched_type)
+        assert isinstance(result.manager, mgr_type)
+
+    def test_hybrid_schemes(self):
+        result = build(Scheme.HYBRID_SHARING, groups=CASE1_GROUPS)
+        assert isinstance(result.scheduler, HybridScheduler)
+        assert isinstance(result.manager, HybridBufferManager)
+        for sub in result.manager.managers:
+            assert isinstance(sub, SharedHeadroomManager)
+        threshold_build = build(Scheme.HYBRID_THRESHOLD, groups=CASE1_GROUPS)
+        for sub in threshold_build.manager.managers:
+            assert isinstance(sub, FixedThresholdManager)
+
+    def test_hybrid_requires_groups(self):
+        with pytest.raises(ConfigurationError):
+            build(Scheme.HYBRID_SHARING)
+
+    def test_scheme_flags(self):
+        assert Scheme.HYBRID_SHARING.is_hybrid
+        assert not Scheme.FIFO_SHARING.is_hybrid
+        assert Scheme.FIFO_SHARING.uses_sharing
+        assert not Scheme.FIFO_THRESHOLD.uses_sharing
+
+
+class TestThresholds:
+    def test_threshold_formula_with_partition_scaling(self):
+        result = build(Scheme.FIFO_THRESHOLD)
+        # Raw thresholds: sigma + rho B / R; B = 2 MB, so the raw sum
+        # exceeds B (600 KB + 0.683 * 2 MB ~ 1.97 MB < 2 MB -> scaled up).
+        raw = {
+            flow.flow_id: flow.bucket + flow.token_rate * BUFFER / LINK_RATE
+            for flow in FLOWS
+        }
+        raw_total = sum(raw.values())
+        assert raw_total < BUFFER  # this buffer triggers footnote 5
+        for flow_id, threshold in result.thresholds.items():
+            assert threshold == pytest.approx(raw[flow_id] * BUFFER / raw_total)
+
+    def test_thresholds_not_scaled_when_oversubscribed(self):
+        small_buffer = mbytes(0.5)
+        result = build_scheme(
+            Simulator(), Scheme.FIFO_THRESHOLD, FLOWS, small_buffer, LINK_RATE
+        )
+        for flow in FLOWS:
+            expected = flow.bucket + flow.token_rate * small_buffer / LINK_RATE
+            assert result.thresholds[flow.flow_id] == pytest.approx(expected)
+
+    def test_wfq_weights_are_token_rates(self):
+        result = build(Scheme.WFQ_THRESHOLD)
+        wfq = result.scheduler
+        # Verify indirectly: enqueue a packet per flow and check the
+        # scheduler accepted all ids (weights registered for each flow).
+        from repro.sim.packet import Packet
+
+        for flow in FLOWS:
+            wfq.enqueue(Packet(flow.flow_id, 500.0, 0.0))
+        assert len(wfq) == len(FLOWS)
+
+
+class TestHybridConfiguration:
+    def test_queue_rates_sum_to_link(self):
+        result = build(Scheme.HYBRID_SHARING, groups=CASE1_GROUPS)
+        assert sum(result.queue_rates) == pytest.approx(LINK_RATE)
+
+    def test_queue_buffers_sum_to_total(self):
+        result = build(Scheme.HYBRID_SHARING, groups=CASE1_GROUPS)
+        assert sum(result.queue_buffers) == pytest.approx(BUFFER)
+
+    def test_queue_rates_exceed_reservations(self):
+        result = build(Scheme.HYBRID_SHARING, groups=CASE1_GROUPS)
+        for group, rate in zip(CASE1_GROUPS, result.queue_rates):
+            rho_hat = sum(FLOWS[f].token_rate for f in group)
+            assert rate > rho_hat
+
+    def test_flow_thresholds_use_section42_formula(self):
+        result = build(Scheme.HYBRID_SHARING, groups=CASE1_GROUPS)
+        for class_id, group in enumerate(CASE1_GROUPS):
+            rho_hat = sum(FLOWS[f].token_rate for f in group)
+            queue_buffer = result.queue_buffers[class_id]
+            for flow_id in group:
+                expected = FLOWS[flow_id].bucket + (
+                    FLOWS[flow_id].token_rate / rho_hat
+                ) * queue_buffer
+                assert result.thresholds[flow_id] == pytest.approx(expected)
+
+    def test_headroom_split_in_proportion_to_buffers(self):
+        result = build(Scheme.HYBRID_SHARING, groups=CASE1_GROUPS)
+        for sub, queue_buffer in zip(result.manager.managers, result.queue_buffers):
+            expected = DEFAULT_HEADROOM * queue_buffer / BUFFER
+            assert sub.headroom_cap == pytest.approx(expected)
+
+    def test_grouping_must_cover_all_flows(self):
+        with pytest.raises(ConfigurationError):
+            build(Scheme.HYBRID_SHARING, groups=[[0, 1], [2, 3]])
+
+
+class TestValidation:
+    def test_non_positive_buffer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_scheme(Simulator(), Scheme.FIFO_NONE, FLOWS, 0.0, LINK_RATE)

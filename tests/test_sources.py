@@ -1,0 +1,170 @@
+"""Traffic sources: on-off, CBR, greedy, trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.traffic.sources import CBRSource, GreedySource, OnOffSource, TraceSource
+
+
+class Recorder:
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append(packet)
+
+
+class TestCBRSource:
+    def test_emits_at_constant_spacing(self):
+        sim = Simulator()
+        sink = Recorder()
+        CBRSource(sim, 0, rate=1000.0, sink=sink, packet_size=100.0, until=1.0)
+        sim.run(until=1.0)
+        times = [p.created for p in sink.packets]
+        assert times[0] == 0.0
+        deltas = np.diff(times)
+        assert np.allclose(deltas, 0.1)
+
+    def test_rate_achieved(self):
+        sim = Simulator()
+        sink = Recorder()
+        CBRSource(sim, 0, rate=1000.0, sink=sink, packet_size=100.0, until=10.0)
+        sim.run(until=10.0)
+        emitted = sum(p.size for p in sink.packets)
+        assert emitted == pytest.approx(10_000.0, rel=0.02)
+
+    def test_until_stops_emission(self):
+        sim = Simulator()
+        sink = Recorder()
+        CBRSource(sim, 0, rate=1000.0, sink=sink, packet_size=100.0, until=0.5)
+        sim.run()
+        assert all(p.created <= 0.5 for p in sink.packets)
+
+    def test_start_offset(self):
+        sim = Simulator()
+        sink = Recorder()
+        CBRSource(sim, 0, rate=1000.0, sink=sink, packet_size=100.0,
+                  start=2.0, until=3.0)
+        sim.run(until=3.0)
+        assert sink.packets[0].created == 2.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CBRSource(Simulator(), 0, rate=0.0, sink=Recorder())
+
+
+class TestGreedySource:
+    def test_offers_more_than_link_rate(self):
+        sim = Simulator()
+        sink = Recorder()
+        GreedySource(sim, 0, link_rate=1000.0, sink=sink, packet_size=100.0,
+                     until=1.0)
+        sim.run(until=1.0)
+        offered = sum(p.size for p in sink.packets)
+        assert offered > 1000.0
+
+    def test_overdrive_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GreedySource(Simulator(), 0, 1000.0, Recorder(), overdrive=0.5)
+
+
+class TestOnOffSource:
+    def test_long_run_average_rate(self):
+        sim = Simulator()
+        sink = Recorder()
+        OnOffSource(
+            sim, 0, peak_rate=10_000.0, avg_rate=2_000.0, mean_burst=2_000.0,
+            sink=sink, rng=np.random.default_rng(42), packet_size=100.0,
+            until=200.0,
+        )
+        sim.run(until=200.0)
+        rate = sum(p.size for p in sink.packets) / 200.0
+        assert rate == pytest.approx(2_000.0, rel=0.25)
+
+    def test_peak_rate_respected_within_bursts(self):
+        sim = Simulator()
+        sink = Recorder()
+        OnOffSource(
+            sim, 0, peak_rate=10_000.0, avg_rate=2_000.0, mean_burst=2_000.0,
+            sink=sink, rng=np.random.default_rng(7), packet_size=100.0,
+            until=50.0,
+        )
+        sim.run(until=50.0)
+        times = [p.created for p in sink.packets]
+        spacing = 100.0 / 10_000.0
+        min_gap = min(np.diff(times))
+        assert min_gap >= spacing - 1e-9
+
+    def test_cbr_degenerate_when_avg_equals_peak(self):
+        sim = Simulator()
+        sink = Recorder()
+        OnOffSource(
+            sim, 0, peak_rate=1_000.0, avg_rate=1_000.0, mean_burst=1_000.0,
+            sink=sink, rng=np.random.default_rng(0), packet_size=100.0,
+            until=5.0,
+        )
+        sim.run(until=5.0)
+        rate = sum(p.size for p in sink.packets) / 5.0
+        assert rate == pytest.approx(1_000.0, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            sim = Simulator()
+            sink = Recorder()
+            OnOffSource(
+                sim, 0, 10_000.0, 2_000.0, 2_000.0, sink,
+                np.random.default_rng(seed), packet_size=100.0, until=20.0,
+            )
+            sim.run(until=20.0)
+            return [round(p.created, 9) for p in sink.packets]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_mean_burst_smaller_than_packet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnOffSource(
+                Simulator(), 0, 1_000.0, 500.0, 50.0, Recorder(),
+                np.random.default_rng(0), packet_size=100.0,
+            )
+
+    def test_avg_above_peak_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnOffSource(
+                Simulator(), 0, 1_000.0, 2_000.0, 1_000.0, Recorder(),
+                np.random.default_rng(0),
+            )
+
+    def test_mean_burst_size_approximately_respected(self):
+        sim = Simulator()
+        sink = Recorder()
+        source = OnOffSource(
+            sim, 0, peak_rate=100_000.0, avg_rate=10_000.0, mean_burst=1_000.0,
+            sink=sink, rng=np.random.default_rng(11), packet_size=100.0,
+            until=300.0,
+        )
+        sim.run(until=300.0)
+        times = np.array([p.created for p in sink.packets])
+        gaps = np.diff(times)
+        # A gap much larger than the peak spacing separates bursts.
+        burst_count = 1 + int(np.sum(gaps > 5 * (100.0 / 100_000.0)))
+        mean_burst = sum(p.size for p in sink.packets) / burst_count
+        assert mean_burst == pytest.approx(1_000.0, rel=0.3)
+
+
+class TestTraceSource:
+    def test_replays_schedule(self):
+        sim = Simulator()
+        sink = Recorder()
+        TraceSource(sim, 3, [(0.5, 100.0), (1.5, 200.0)], sink)
+        sim.run()
+        assert [(p.created, p.size) for p in sink.packets] == [
+            (0.5, 100.0), (1.5, 200.0)
+        ]
+        assert all(p.flow_id == 3 for p in sink.packets)
+
+    def test_unordered_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceSource(Simulator(), 0, [(1.0, 100.0), (0.5, 100.0)], Recorder())

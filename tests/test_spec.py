@@ -1,0 +1,141 @@
+"""Declarative scenario specifications."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.schemes import Scheme
+from repro.experiments.spec import ScenarioSpec, load_specs, run_spec
+from repro.units import mbytes
+
+BASE = {
+    "name": "demo",
+    "workload": "table1",
+    "scheme": "FIFO_THRESHOLD",
+    "buffer_mb": 1.0,
+    "sim_time": 1.0,
+    "seeds": [1],
+    "metrics": ["utilization", "loss:conformant", "throughput:6,8"],
+}
+
+
+def spec_with(**overrides):
+    raw = dict(BASE)
+    raw.update(overrides)
+    return ScenarioSpec.from_dict(raw)
+
+
+class TestFromDict:
+    def test_basic_fields(self):
+        spec = spec_with()
+        assert spec.name == "demo"
+        assert spec.scheme is Scheme.FIFO_THRESHOLD
+        assert spec.buffer_bytes == mbytes(1.0)
+        assert len(spec.flows) == 9
+        assert spec.conformant_ids == tuple(range(6))
+
+    def test_missing_required_key(self):
+        raw = dict(BASE)
+        del raw["scheme"]
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict(raw)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            spec_with(scheme="MAGIC")
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            spec_with(workload="table9")
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError):
+            spec_with(metrics=["jitter"])
+
+    def test_bad_metric_ids(self):
+        with pytest.raises(ConfigurationError):
+            spec_with(metrics=["loss:a,b"])
+
+    def test_empty_seeds(self):
+        with pytest.raises(ConfigurationError):
+            spec_with(seeds=[])
+
+    def test_hybrid_gets_default_groups(self):
+        spec = spec_with(scheme="HYBRID_SHARING")
+        assert spec.groups == ((0, 1, 2), (3, 4, 5), (6, 7, 8))
+
+    def test_custom_workload(self):
+        spec = spec_with(workload=[
+            {"peak_mbps": 16, "avg_mbps": 2, "bucket_kb": 50, "token_mbps": 2},
+            {"peak_mbps": 40, "avg_mbps": 16, "bucket_kb": 50, "token_mbps": 2,
+             "conformant": False, "burst_kb": 250},
+        ])
+        assert len(spec.flows) == 2
+        assert spec.flows[0].conformant
+        assert not spec.flows[1].conformant
+        assert spec.conformant_ids == (0,)
+
+    def test_custom_workload_missing_key(self):
+        with pytest.raises(ConfigurationError):
+            spec_with(workload=[{"peak_mbps": 16}])
+
+
+class TestRunSpec:
+    def test_produces_all_metrics(self):
+        results = run_spec(spec_with())
+        assert set(results) == set(BASE["metrics"])
+        assert 0.0 < results["utilization"].mean <= 100.0
+
+    def test_multiple_seeds_give_ci(self):
+        results = run_spec(spec_with(seeds=[1, 2]))
+        assert results["utilization"].n == 2
+
+    def test_deterministic(self):
+        first = run_spec(spec_with())
+        second = run_spec(spec_with())
+        assert first["utilization"].mean == second["utilization"].mean
+
+    def test_hybrid_spec_runs(self):
+        results = run_spec(spec_with(scheme="HYBRID_SHARING"))
+        assert results["utilization"].mean > 0.0
+
+
+class TestLoadSpecs:
+    def test_single_object(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(BASE))
+        specs = load_specs(path)
+        assert len(specs) == 1
+        assert specs[0].name == "demo"
+
+    def test_list_of_specs(self, tmp_path):
+        second = dict(BASE, name="other", scheme="WFQ_SHARING")
+        path = tmp_path / "specs.json"
+        path.write_text(json.dumps([BASE, second]))
+        specs = load_specs(path)
+        assert [spec.name for spec in specs] == ["demo", "other"]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ConfigurationError):
+            load_specs(path)
+
+
+class TestCLIRun:
+    def test_run_target(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(BASE))
+        assert main(["run", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "utilization" in out
+
+    def test_run_requires_spec(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run"]) == 2
+        assert "--spec" in capsys.readouterr().err

@@ -1,0 +1,85 @@
+"""Replication statistics (mean ± 95% CI)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.stats import MeanCI, mean_ci, replicate
+
+
+class TestMeanCI:
+    def test_mean_of_samples(self):
+        result = mean_ci([1.0, 2.0, 3.0])
+        assert result.mean == pytest.approx(2.0)
+        assert result.n == 3
+
+    def test_single_sample_has_zero_halfwidth(self):
+        result = mean_ci([5.0])
+        assert result.mean == 5.0
+        assert result.halfwidth == 0.0
+
+    def test_identical_samples_have_zero_halfwidth(self):
+        assert mean_ci([4.0, 4.0, 4.0]).halfwidth == pytest.approx(0.0)
+
+    def test_known_t_interval(self):
+        # n=2, samples 0 and 2: mean 1, s=sqrt(2), se=1, t_{0.975,1}=12.706.
+        result = mean_ci([0.0, 2.0])
+        assert result.mean == 1.0
+        assert result.halfwidth == pytest.approx(12.706, rel=1e-3)
+
+    def test_interval_narrows_with_more_samples(self):
+        narrow = mean_ci([0.0, 2.0] * 10)
+        wide = mean_ci([0.0, 2.0])
+        assert narrow.halfwidth < wide.halfwidth
+
+    def test_higher_confidence_is_wider(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert mean_ci(samples, confidence=0.99).halfwidth > mean_ci(
+            samples, confidence=0.9
+        ).halfwidth
+
+    def test_bounds(self):
+        result = mean_ci([1.0, 3.0, 5.0])
+        assert result.low == pytest.approx(result.mean - result.halfwidth)
+        assert result.high == pytest.approx(result.mean + result.halfwidth)
+
+    def test_relative_halfwidth(self):
+        result = MeanCI(mean=10.0, halfwidth=0.5, n=5)
+        assert result.relative_halfwidth == pytest.approx(0.05)
+
+    def test_relative_halfwidth_zero_mean(self):
+        assert MeanCI(0.0, 1.0, 3).relative_halfwidth == math.inf
+        assert MeanCI(0.0, 0.0, 3).relative_halfwidth == 0.0
+
+    def test_str_mentions_n(self):
+        assert "n=3" in str(mean_ci([1.0, 2.0, 3.0]))
+
+
+class TestValidation:
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_ci([1.0], confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            mean_ci([1.0], confidence=0.0)
+
+
+class TestReplicate:
+    def test_runs_once_per_seed(self):
+        seen = []
+
+        def run(seed):
+            seen.append(seed)
+            return float(seed)
+
+        result = replicate(run, seeds=[1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert result.mean == pytest.approx(2.0)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicate(lambda seed: 0.0, seeds=[])

@@ -1,0 +1,33 @@
+"""Tail-drop (no management) baseline."""
+
+from repro.core.tail_drop import TailDropManager
+
+
+class TestTailDrop:
+    def test_admits_anything_that_fits(self):
+        manager = TailDropManager(1000.0)
+        assert manager.try_admit(0, 600.0)
+        assert manager.try_admit(1, 400.0)
+
+    def test_rejects_when_full(self):
+        manager = TailDropManager(1000.0)
+        manager.try_admit(0, 1000.0)
+        assert not manager.try_admit(1, 1.0)
+
+    def test_no_per_flow_differentiation(self):
+        # The failure mode the paper fixes: one flow may take everything.
+        manager = TailDropManager(1000.0)
+        assert manager.try_admit(7, 1000.0)
+        assert manager.occupancy(7) == 1000.0
+        assert not manager.try_admit(0, 1.0)
+
+    def test_exact_fit_admitted(self):
+        manager = TailDropManager(1000.0)
+        manager.try_admit(0, 400.0)
+        assert manager.try_admit(1, 600.0)
+
+    def test_departure_reopens(self):
+        manager = TailDropManager(1000.0)
+        manager.try_admit(0, 1000.0)
+        manager.on_depart(0, 500.0)
+        assert manager.try_admit(1, 500.0)

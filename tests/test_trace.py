@@ -1,0 +1,75 @@
+"""Occupancy probe (time-series instrumentation)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.trace import OccupancyProbe
+from repro.sim.engine import Simulator
+
+
+class TestSampling:
+    def test_samples_at_fixed_period(self):
+        sim = Simulator()
+        value = [0.0]
+        probe = OccupancyProbe(sim, 0.5, {"x": lambda: value[0]}, until=2.0)
+        sim.run(until=2.0)
+        assert probe.times == pytest.approx([0.0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_values_track_the_callable(self):
+        sim = Simulator()
+        probe = OccupancyProbe(sim, 1.0, {"t": lambda: sim.now}, until=3.0)
+        sim.run(until=3.0)
+        assert probe.series["t"] == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_multiple_series_aligned(self):
+        sim = Simulator()
+        probe = OccupancyProbe(
+            sim, 1.0, {"a": lambda: 1.0, "b": lambda: 2.0}, until=2.0
+        )
+        sim.run(until=2.0)
+        assert len(probe.series["a"]) == len(probe.series["b"]) == len(probe.times)
+
+    def test_until_stops_sampling(self):
+        sim = Simulator()
+        probe = OccupancyProbe(sim, 1.0, {"x": lambda: 0.0}, until=1.5)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert max(probe.times) <= 1.5
+
+
+class TestReductions:
+    def make_probe(self):
+        sim = Simulator()
+        probe = OccupancyProbe(sim, 1.0, {"t": lambda: sim.now}, until=4.0)
+        sim.run(until=4.0)
+        return probe
+
+    def test_maximum(self):
+        assert self.make_probe().maximum("t") == 4.0
+
+    def test_final(self):
+        assert self.make_probe().final("t") == 4.0
+
+    def test_time_average(self):
+        assert self.make_probe().time_average("t") == pytest.approx(2.0)
+
+    def test_maximum_of_empty_series_is_zero(self):
+        sim = Simulator()
+        probe = OccupancyProbe(sim, 1.0, {"x": lambda: 1.0})
+        assert probe.maximum("x") == 0.0
+
+    def test_final_of_empty_series_raises(self):
+        sim = Simulator()
+        probe = OccupancyProbe(sim, 1.0, {"x": lambda: 1.0})
+        with pytest.raises(ConfigurationError):
+            probe.final("x")
+
+
+class TestValidation:
+    def test_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            OccupancyProbe(Simulator(), 0.0, {"x": lambda: 0.0})
+
+    def test_no_probes(self):
+        with pytest.raises(ConfigurationError):
+            OccupancyProbe(Simulator(), 1.0, {})

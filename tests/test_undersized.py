@@ -1,0 +1,90 @@
+"""Undersized-threshold analysis and its simulation validation."""
+
+import pytest
+
+from repro.analysis.undersized import (
+    degradation_fraction,
+    effective_rate,
+    required_threshold,
+)
+from repro.core.fixed_threshold import FixedThresholdManager
+from repro.errors import ConfigurationError
+from repro.metrics.collector import StatsCollector
+from repro.sched.fifo import FIFOScheduler
+from repro.sim.engine import Simulator
+from repro.sim.port import OutputPort
+from repro.traffic.sources import CBRSource, GreedySource
+
+LINK = 1_000_000.0
+BUFFER = 100_000.0
+PKT = 500.0
+
+
+class TestFormulas:
+    def test_inverse_of_proposition1(self):
+        # T = rho B / R -> effective rate rho.
+        rho = 250_000.0
+        threshold = required_threshold(rho, BUFFER, LINK)
+        assert effective_rate(threshold, BUFFER, LINK) == pytest.approx(rho)
+
+    def test_half_threshold_half_rate(self):
+        rho = 250_000.0
+        threshold = required_threshold(rho, BUFFER, LINK)
+        assert effective_rate(threshold / 2, BUFFER, LINK) == pytest.approx(rho / 2)
+
+    def test_sigma_portion_carries_no_rate(self):
+        sigma = 20_000.0
+        threshold = required_threshold(200_000.0, BUFFER, LINK, sigma=sigma)
+        assert effective_rate(threshold, BUFFER, LINK, sigma=sigma) == (
+            pytest.approx(200_000.0)
+        )
+        # Threshold made of sigma alone guarantees no sustained rate.
+        assert effective_rate(sigma, BUFFER, LINK, sigma=sigma) == 0.0
+
+    def test_effective_rate_clamped_at_link_rate(self):
+        assert effective_rate(10 * BUFFER, BUFFER, LINK) == LINK
+
+    def test_degradation_fraction(self):
+        rho = 250_000.0
+        threshold = required_threshold(rho, BUFFER, LINK)
+        assert degradation_fraction(threshold, rho, BUFFER, LINK) == pytest.approx(1.0)
+        assert degradation_fraction(0.6 * threshold, rho, BUFFER, LINK) == (
+            pytest.approx(0.6)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            effective_rate(-1.0, BUFFER, LINK)
+        with pytest.raises(ConfigurationError):
+            required_threshold(2 * LINK, BUFFER, LINK)
+        with pytest.raises(ConfigurationError):
+            degradation_fraction(1.0, 0.0, BUFFER, LINK)
+
+
+class TestSimulationValidation:
+    def run_with_threshold_fraction(self, fraction):
+        """CBR flow at rho with a scaled threshold vs a greedy flow."""
+        rho = 250_000.0
+        full_threshold = required_threshold(rho, BUFFER, LINK) + PKT
+        threshold = fraction * full_threshold
+        manager = FixedThresholdManager(
+            BUFFER, {1: threshold, 2: BUFFER - threshold}
+        )
+        sim = Simulator()
+        collector = StatsCollector(warmup=10.0)
+        port = OutputPort(sim, LINK, FIFOScheduler(), manager, collector)
+        CBRSource(sim, 1, rho, port, packet_size=PKT, until=40.0)
+        GreedySource(sim, 2, LINK, port, packet_size=PKT, until=40.0)
+        sim.run(until=40.0)
+        measured = collector.flows[1].departed_bytes / 30.0
+        predicted = effective_rate(threshold, BUFFER, LINK)
+        return measured, predicted
+
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.75])
+    def test_undersized_threshold_delivers_predicted_rate(self, fraction):
+        measured, predicted = self.run_with_threshold_fraction(fraction)
+        assert measured == pytest.approx(predicted, rel=0.08)
+
+    def test_full_threshold_delivers_reservation(self):
+        measured, _ = self.run_with_threshold_fraction(1.0)
+        assert measured == pytest.approx(250_000.0, rel=0.03)

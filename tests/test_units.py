@@ -1,0 +1,46 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestRateConversions:
+    def test_mbps_to_bytes(self):
+        assert units.mbps(48.0) == 6_000_000.0
+
+    def test_mbps_roundtrip(self):
+        assert units.to_mbps(units.mbps(2.4)) == pytest.approx(2.4)
+
+    def test_mbps_zero(self):
+        assert units.mbps(0.0) == 0.0
+
+    def test_to_mbps_of_link_rate(self):
+        assert units.to_mbps(6_000_000.0) == pytest.approx(48.0)
+
+
+class TestSizeConversions:
+    def test_kbytes(self):
+        assert units.kbytes(50.0) == 50_000.0
+
+    def test_mbytes(self):
+        assert units.mbytes(2.0) == 2_000_000.0
+
+    def test_kbytes_roundtrip(self):
+        assert units.to_kbytes(units.kbytes(123.4)) == pytest.approx(123.4)
+
+    def test_mbytes_roundtrip(self):
+        assert units.to_mbytes(units.mbytes(0.5)) == pytest.approx(0.5)
+
+    def test_mbyte_is_thousand_kbytes(self):
+        assert units.mbytes(1.0) == units.kbytes(1000.0)
+
+
+class TestConstants:
+    def test_bits_per_byte(self):
+        assert units.BITS_PER_BYTE == 8
+
+    def test_decimal_prefixes(self):
+        # The library documents decimal (1000-based) prefixes.
+        assert units.KBYTE == 1000
+        assert units.MBYTE == 1000 * units.KBYTE
