@@ -1,0 +1,34 @@
+"""Micro-benchmark: the static-analysis pass over the full tree.
+
+The linter runs inside the tier-1 test gate (tests/test_lint_clean.py),
+so its cost is paid on every test invocation; this benchmark keeps that
+cost visible and asserts the full ``src/`` pass stays well under a
+second — it is a single AST walk per file, and should remain one.
+"""
+
+import time
+from pathlib import Path
+
+from repro.lint import lint_paths, unsuppressed
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def _full_pass():
+    return lint_paths([SRC])
+
+
+def test_lint_full_tree(benchmark):
+    """Whole-library pass: parse + all five rules + suppression scan."""
+    findings = benchmark(_full_pass)
+    assert unsuppressed(findings) == []
+
+
+def test_lint_full_tree_wall_time_budget():
+    """Hard budget: one cold pass over src/ finishes well under a second."""
+    start = time.perf_counter()
+    findings = lint_paths([SRC])
+    elapsed = time.perf_counter() - start
+    assert unsuppressed(findings) == []
+    assert elapsed < 1.0, f"lint pass took {elapsed:.3f}s (budget 1s)"

@@ -64,13 +64,14 @@ def run_target(name: str, fast: bool, out: pathlib.Path | None) -> None:
 
 
 def run_spec_file(path: pathlib.Path) -> None:
+    from repro import units
     from repro.experiments.report import format_table
     from repro.experiments.spec import load_specs, run_spec
 
     for spec in load_specs(path):
         results = run_spec(spec)
         rows = [[label, str(value)] for label, value in results.items()]
-        print(f"{spec.name} [{spec.scheme.value}, B = {spec.buffer_bytes / 1e6:g} MB]")
+        print(f"{spec.name} [{spec.scheme.value}, B = {units.to_mbytes(spec.buffer_bytes):g} MB]")
         print(format_table(["metric", "mean ± 95% CI"], rows))
         print()
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 
 __all__ = ["GPSArrival", "GPSFinish", "gps_finish_times"]
 
@@ -106,7 +106,11 @@ def gps_finish_times(
         active = backlogged()
         if not active:
             # Idle: jump to the next arrival.
-            assert next_arrival_time is not None
+            if next_arrival_time is None:
+                raise SimulationError(
+                    "GPS reference idle with no pending arrivals but "
+                    "unfinished backlog bookkeeping"
+                )
             now = max(now, next_arrival_time)
             while (
                 pending_pos < len(pending)
@@ -155,7 +159,8 @@ def gps_finish_times(
             flow.boundaries.append((flow.arrived, index))
             pending_pos += 1
 
-    assert all(finish is not None for finish in finishes)
+    if any(finish is None for finish in finishes):
+        raise SimulationError("GPS reference left arrivals without a finish time")
     return [
         GPSFinish(arrival=arrival, finish=float(finish))
         for arrival, finish in zip(normalized, finishes)

@@ -24,7 +24,7 @@ import itertools
 from typing import Sequence
 
 from repro.analysis.hybrid_opt import QueueRequirement, hybrid_total_buffer
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 
 __all__ = [
     "group_requirements",
@@ -108,7 +108,8 @@ def best_grouping_exhaustive(
         if buffer_needed < best_buffer:
             best_buffer = buffer_needed
             best_groups = [sorted(group) for group in partition]
-    assert best_groups is not None
+    if best_groups is None:
+        raise SimulationError("exhaustive grouping search produced no partition")
     return best_groups, best_buffer
 
 
@@ -138,5 +139,6 @@ def greedy_grouping(
         if buffer_needed < best_buffer:
             best_buffer = buffer_needed
             best_groups = [sorted(group) for group in groups]
-    assert best_groups is not None
+    if best_groups is None:
+        raise SimulationError("greedy grouping search produced no partition")
     return best_groups, best_buffer

@@ -45,6 +45,8 @@ class AdaptiveSharingManager(SharedHeadroomManager):
         default_threshold: reservation for unknown flows.
     """
 
+    __slots__ = ("adaptive_flows", "nonadaptive_share")
+
     def __init__(
         self,
         capacity: float,

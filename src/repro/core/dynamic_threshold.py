@@ -31,6 +31,8 @@ class DynamicThresholdManager(BufferManager):
             powers of two, with 1 the canonical choice.
     """
 
+    __slots__ = ("alpha",)
+
     def __init__(self, capacity: float, alpha: float = 1.0) -> None:
         super().__init__(capacity)
         if alpha <= 0:

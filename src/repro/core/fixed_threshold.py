@@ -32,6 +32,8 @@ class FixedThresholdManager(BufferManager):
             which is the safe choice for guaranteed-service buffers.
     """
 
+    __slots__ = ("thresholds", "default_threshold")
+
     def __init__(
         self,
         capacity: float,

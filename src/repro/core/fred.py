@@ -34,6 +34,8 @@ class FREDManager(REDManager):
         (remaining arguments as for :class:`REDManager`)
     """
 
+    __slots__ = ("minq", "maxq", "_strikes")
+
     def __init__(
         self,
         capacity: float,

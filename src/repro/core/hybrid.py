@@ -31,6 +31,8 @@ class HybridBufferManager:
         managers: one :class:`BufferManager` per class, index-aligned.
     """
 
+    __slots__ = ("class_of", "managers", "capacity")
+
     def __init__(self, class_of: Mapping[int, int], managers: Sequence[BufferManager]):
         if not managers:
             raise ConfigurationError("hybrid manager needs at least one sub-manager")

@@ -34,6 +34,8 @@ class BufferManager(ABC):
         capacity: total buffer size ``B`` in bytes.  Must be positive.
     """
 
+    __slots__ = ("capacity", "_occupancy", "_total")
+
     def __init__(self, capacity: float):
         if capacity <= 0:
             raise ConfigurationError(f"buffer capacity must be positive, got {capacity}")

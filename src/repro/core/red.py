@@ -42,6 +42,19 @@ class REDManager(BufferManager):
             idle-decay rule.
     """
 
+    __slots__ = (
+        "min_th",
+        "max_th",
+        "max_p",
+        "weight",
+        "mean_tx_time",
+        "_rng",
+        "_clock",
+        "avg",
+        "_count",
+        "_idle_since",
+    )
+
     def __init__(
         self,
         capacity: float,

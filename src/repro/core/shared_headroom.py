@@ -54,6 +54,8 @@ class SharedHeadroomManager(BufferManager):
             (0 = unknown flows may only use holes).
     """
 
+    __slots__ = ("thresholds", "default_threshold", "headroom_cap", "headroom", "holes")
+
     def __init__(
         self,
         capacity: float,

@@ -17,5 +17,7 @@ __all__ = ["TailDropManager"]
 class TailDropManager(BufferManager):
     """Admit iff the packet fits in the remaining buffer space."""
 
+    __slots__ = ()
+
     def _admits(self, flow_id: int, size: float) -> bool:
         return self._total + size <= self.capacity

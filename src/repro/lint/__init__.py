@@ -1,0 +1,48 @@
+"""Domain-aware static analysis for the repro simulator.
+
+The reproduction's correctness claims rest on invariants Python's type
+system cannot express: bit-for-bit deterministic runs for a given seed,
+a single canonical bytes/seconds unit system (:mod:`repro.units`), eager
+:class:`~repro.errors.ReproError` failures instead of silent drift, exact
+handling of float simulation times, and slotted hot-path objects.  This
+package enforces them mechanically:
+
+========  ====================================================
+RPR001    malformed ``# repro: noqa`` suppression comment
+RPR101    determinism (no wall clock, global random, id()-order)
+RPR102    units (no magic-number conversions; use repro.units)
+RPR103    error discipline (ReproError, not bare built-ins)
+RPR104    sim-time safety (no float ``==`` on times)
+RPR105    hot-path hygiene (__slots__, no mutable defaults)
+========  ====================================================
+
+Run it with ``python -m repro.lint src/ tests/`` or the ``repro-lint``
+console script; see :mod:`repro.lint.cli` for the exit-code contract and
+``docs/lint.md`` for rule rationale with good/bad examples.  Deliberate
+exceptions are annotated in place::
+
+    return rate * 1e6 / 8  # repro: noqa RPR102 — canonical definition
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import lint_file, lint_paths, lint_source, unsuppressed
+from repro.lint.findings import Finding, LintParseError, LintUsageError
+from repro.lint.registry import RULE_REGISTRY, Rule, all_rules
+from repro.lint.reporters import render_json, render_text, summarize
+
+__all__ = [
+    "Finding",
+    "LintParseError",
+    "LintUsageError",
+    "Rule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "summarize",
+    "unsuppressed",
+]

@@ -1,0 +1,113 @@
+"""Command-line interface for the static-analysis pass.
+
+Usage::
+
+    python -m repro.lint src/ tests/          # or the repro-lint script
+    python -m repro.lint --format json src/
+    python -m repro.lint --select RPR101,RPR104 src/repro/sim
+    python -m repro.lint --list-rules
+
+Exit codes (documented contract, relied on by CI):
+
+* **0** — clean: no unsuppressed findings;
+* **1** — at least one unsuppressed finding (including RPR001
+  malformed-suppression meta-findings);
+* **2** — usage or parse error: unknown rule id, missing path, no Python
+  files found, or a target file that is not valid Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.lint.engine import lint_paths, unsuppressed
+from repro.lint.findings import LintParseError, LintUsageError
+from repro.lint.registry import all_rules
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["main", "build_parser", "EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_ERROR"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Domain-aware static analysis for the repro simulator: "
+            "determinism, canonical units, error discipline, sim-time "
+            "safety, hot-path hygiene."
+        ),
+        epilog="exit codes: 0 clean, 1 findings, 2 usage/parse error",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (directories recurse into *.py)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RPR###[,RPR###...]",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by '# repro: noqa' comments",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id} {rule.name}: {rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    try:
+        options = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; pass through.
+        return int(exc.code or 0)
+    if options.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return EXIT_ERROR
+    select = None
+    if options.select:
+        select = [rule_id.strip() for rule_id in options.select.split(",") if rule_id.strip()]
+    try:
+        findings = lint_paths(options.paths, select)
+    except (LintUsageError, LintParseError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if options.format == "json":
+        print(render_json(findings, show_suppressed=options.show_suppressed))
+    else:
+        print(render_text(findings, show_suppressed=options.show_suppressed))
+    return EXIT_FINDINGS if unsuppressed(findings) else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Analysis driver: parse files, run rules, apply suppressions.
+
+The engine is deliberately pure: it maps source text to a sorted list of
+:class:`~repro.lint.findings.Finding` objects and leaves presentation and
+exit codes to :mod:`repro.lint.reporters` / :mod:`repro.lint.cli`.  File
+discovery sorts paths so the pass is deterministic — the same invariant
+the linter enforces on the simulator.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding, LintParseError, LintUsageError
+from repro.lint.registry import LintContext, Rule, resolve_rule_ids
+from repro.lint.suppressions import scan_suppressions
+
+# Import for the side effect of registering the shipped rules.
+from repro.lint import rules as _rules  # noqa: F401  (registration import)
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "unsuppressed"]
+
+
+def lint_source(
+    source: str,
+    path: str = "src/repro/<snippet>.py",
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Analyze one unit of source text.
+
+    Args:
+        source: Python source to analyze.
+        path: path used for scoping decisions (library vs. test code,
+            ``repro/sim`` / ``repro/core`` slots scope) and in findings.
+        select: optional iterable of rule ids to restrict the run to.
+
+    Returns:
+        All findings sorted by location, suppressed ones included (with
+        ``suppressed=True``).  RPR001 suppression meta-findings are never
+        themselves suppressible.
+
+    Raises:
+        LintParseError: the source is not valid Python.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        raise LintParseError(f"{path}: {exc}") from exc
+    ctx = LintContext(path, source, tree)
+    table, findings = scan_suppressions(source, path)
+    for rule in resolve_rule_ids(select):
+        if rule.library_only and not ctx.is_library:
+            continue
+        for finding in rule.check(ctx):
+            if table.covers(finding.line, finding.rule_id):
+                finding.suppressed = True
+                finding.suppress_reason = table.reason(finding.line, finding.rule_id)
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_file(path: pathlib.Path, select: Iterable[str] | None = None) -> list[Finding]:
+    """Analyze one file on disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintUsageError(f"cannot read {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise LintParseError(f"{path}: not valid UTF-8 ({exc})") from exc
+    return lint_source(source, str(path), select)
+
+
+def _discover(paths: Sequence[str]) -> list[pathlib.Path]:
+    files: set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise LintUsageError(f"no such file or directory: {raw}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Sequence[str], select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Analyze files and directories (recursing into ``*.py``).
+
+    Raises:
+        LintUsageError: a path does not exist or no files were found.
+        LintParseError: some file is not parseable Python.
+    """
+    files = _discover(paths)
+    if not files:
+        raise LintUsageError(f"no Python files found under: {', '.join(paths)}")
+    findings: list[Finding] = []
+    select_list = sorted(select) if select is not None else None
+    for file_path in files:
+        findings.extend(lint_file(file_path, select_list))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def unsuppressed(findings: Iterable[Finding]) -> list[Finding]:
+    """The findings that count toward a nonzero exit code."""
+    return [finding for finding in findings if not finding.suppressed]

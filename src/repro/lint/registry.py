@@ -1,0 +1,108 @@
+"""Rule registry and per-file analysis context.
+
+Rules are small classes with a stable ``RPR###`` id; registering a class
+makes it discoverable by the engine and the CLI's ``--list-rules``.  Each
+rule receives a :class:`LintContext` (parsed AST plus source metadata)
+and yields :class:`~repro.lint.findings.Finding` objects.
+
+All shipped rules are *library rules*: they encode invariants of the
+simulator library itself, so the engine skips them for test, benchmark,
+and example files (where ``assert``, wall-clock timing, or ad-hoc numbers
+are legitimate).  The suppression scanner still runs everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding, LintUsageError
+
+__all__ = ["LintContext", "Rule", "register", "all_rules", "resolve_rule_ids", "RULE_REGISTRY"]
+
+#: Path components / filename prefixes marking non-library code.
+_NON_LIBRARY_DIRS = frozenset({"tests", "benchmarks", "examples"})
+_NON_LIBRARY_PREFIXES = ("test_", "bench_", "conftest")
+
+
+class LintContext:
+    """Everything a rule may inspect about one source file."""
+
+    __slots__ = ("path", "source", "tree", "lines", "is_library")
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.is_library = _is_library_path(path)
+
+    def finding(self, rule_id: str, message: str, node: ast.AST) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        return Finding(
+            rule_id,
+            message,
+            self.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+        )
+
+
+def _is_library_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    parts = [part for part in normalized.split("/") if part]
+    basename = parts[-1] if parts else ""
+    if any(part in _NON_LIBRARY_DIRS for part in parts):
+        return False
+    return not basename.startswith(_NON_LIBRARY_PREFIXES)
+
+
+class Rule(ABC):
+    """Base class for analysis rules.
+
+    Class attributes:
+        id: stable ``RPR###`` identifier used in reports and suppressions.
+        name: short kebab-case name.
+        description: one-line summary shown by ``--list-rules``.
+        library_only: when True (the default) the engine skips the rule
+            for test/benchmark/example files.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    library_only: bool = True
+
+    @abstractmethod
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+
+
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id or RULE_REGISTRY.get(cls.id, cls) is not cls:
+        raise LintUsageError(f"rule id {cls.id!r} is missing or already registered")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    return [RULE_REGISTRY[rule_id]() for rule_id in sorted(RULE_REGISTRY)]
+
+
+def resolve_rule_ids(selected: Iterable[str] | None) -> list[Rule]:
+    """Instantiate the selected rules (all of them when ``selected`` is None)."""
+    if selected is None:
+        return all_rules()
+    rules: list[Rule] = []
+    for rule_id in sorted(set(selected)):
+        if rule_id not in RULE_REGISTRY:
+            known = ", ".join(sorted(RULE_REGISTRY))
+            raise LintUsageError(f"unknown rule id {rule_id!r} (known: {known})")
+        rules.append(RULE_REGISTRY[rule_id]())
+    return rules

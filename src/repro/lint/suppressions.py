@@ -1,0 +1,118 @@
+"""Parsing of ``# repro: noqa RPR###`` suppression comments.
+
+The suppression syntax, checked by this module:
+
+* ``# repro: noqa RPR102`` — suppress RPR102 on this line;
+* ``# repro: noqa RPR102, RPR105 — reason text`` — several rules, with a
+  human-readable justification after an em-dash / hyphen / colon;
+* a comment that is alone on its line suppresses the **next** line too,
+  so class- and function-level findings can carry a suppression above the
+  ``class``/``def`` statement.
+
+A comment that *looks* like a suppression (``repro: noqa``) but names no
+valid rule id is itself reported as an **RPR001** meta-finding: a silent
+typo in a suppression would otherwise re-enable the violation it was
+meant to acknowledge.  Blanket suppressions without an explicit rule list
+are rejected for the same reason.
+
+Comments are located with :mod:`tokenize`, so the pattern inside a string
+literal (e.g. in the linter's own test-suite) is never treated as a
+suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.lint.findings import Finding
+
+__all__ = ["SuppressionTable", "scan_suppressions"]
+
+#: Marker that makes a comment a suppression candidate.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\b(?P<rest>.*)", re.IGNORECASE)
+#: Well-formed rule identifier.
+_RULE_ID_RE = re.compile(r"\bRPR\d{3}\b")
+#: Separators starting the free-text reason (em-dash, hyphen, or colon).
+_REASON_SPLIT_RE = re.compile(r"\s+[—:-]+\s+|\s*—\s*")
+
+
+class SuppressionTable:
+    """Maps source lines to the rule ids suppressed on them."""
+
+    __slots__ = ("_by_line",)
+
+    def __init__(self) -> None:
+        self._by_line: dict[int, dict[str, str]] = {}
+
+    def add(self, line: int, rule_ids: list[str], reason: str) -> None:
+        entry = self._by_line.setdefault(line, {})
+        for rule_id in rule_ids:
+            entry[rule_id] = reason
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        return rule_id in self._by_line.get(line, {})
+
+    def reason(self, line: int, rule_id: str) -> str:
+        return self._by_line.get(line, {}).get(rule_id, "")
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def _parse_comment(text: str) -> tuple[list[str], str] | None:
+    """Return (rule_ids, reason) for a suppression comment, or None.
+
+    An empty rule-id list means the comment is malformed.
+    """
+    match = _NOQA_RE.search(text)
+    if match is None:
+        return None
+    rest = match.group("rest")
+    split = _REASON_SPLIT_RE.split(rest, maxsplit=1)
+    id_part = split[0]
+    reason = split[1].strip() if len(split) > 1 else ""
+    rule_ids = _RULE_ID_RE.findall(id_part)
+    # Reject id sections containing junk that is neither a rule id nor a
+    # list separator: "RPR10" or "RPR101x" must not silently half-work.
+    residue = _RULE_ID_RE.sub("", id_part).replace(",", "").strip()
+    if residue:
+        return [], reason
+    return sorted(set(rule_ids)), reason
+
+
+def scan_suppressions(source: str, path: str) -> tuple[SuppressionTable, list[Finding]]:
+    """Extract the suppression table and RPR001 meta-findings of a file."""
+    table = SuppressionTable()
+    meta: list[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The caller reports the parse failure; no suppressions apply.
+        return table, meta
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        parsed = _parse_comment(token.string)
+        if parsed is None:
+            continue
+        rule_ids, reason = parsed
+        line, col = token.start
+        if not rule_ids:
+            meta.append(
+                Finding(
+                    "RPR001",
+                    "malformed suppression: expected '# repro: noqa RPR###"
+                    " — reason' with one or more explicit rule ids",
+                    path,
+                    line,
+                    col,
+                )
+            )
+            continue
+        table.add(line, rule_ids, reason)
+        standalone = token.line[: col].strip() == ""
+        if standalone:
+            table.add(line + 1, rule_ids, reason)
+    return table, meta

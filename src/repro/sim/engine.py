@@ -40,7 +40,7 @@ class Event:
         """Prevent the event from firing. Idempotent."""
         self.cancelled = True
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"Event(t={self.time:.6f}, fn={name}, {state})"
@@ -55,6 +55,8 @@ class Simulator:
         sim.schedule(1.0, callback, arg1, arg2)
         sim.run(until=10.0)
     """
+
+    __slots__ = ("now", "_heap", "_seq", "_events_processed")
 
     def __init__(self) -> None:
         self.now: float = 0.0

@@ -35,5 +35,5 @@ class Packet:
         self.enqueued: float | None = None
         self.seq = next(_packet_ids)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         return f"Packet(flow={self.flow_id}, size={self.size}, t={self.created:.6f})"

@@ -43,6 +43,20 @@ class OutputPort:
             topologies (:mod:`repro.net`) are chained.
     """
 
+    __slots__ = (
+        "sim",
+        "rate",
+        "scheduler",
+        "manager",
+        "collector",
+        "downstream",
+        "busy",
+        "_in_service",
+        "admitted_packets",
+        "dropped_packets",
+        "transmitted_packets",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -1,0 +1,37 @@
+"""Tier-1 gate: the whole library must pass its own static analysis.
+
+This is the enforcement point for the determinism / units / error /
+sim-time / hot-path invariants: any new violation in ``src/`` fails the
+ordinary test run (``PYTHONPATH=src python -m pytest -x -q``), not just a
+separate lint job.  Deliberate exceptions must carry a
+``# repro: noqa RPR### — reason`` annotation *with* a reason.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, render_text, unsuppressed
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_src_tree_is_lint_clean():
+    findings = lint_paths([str(REPO_ROOT / "src")])
+    offending = unsuppressed(findings)
+    assert offending == [], "\n" + render_text(findings)
+
+
+def test_every_suppression_in_src_carries_a_reason():
+    findings = lint_paths([str(REPO_ROOT / "src")])
+    silent = [
+        finding
+        for finding in findings
+        if finding.suppressed and not finding.suppress_reason
+    ]
+    assert silent == [], f"suppressions without a reason: {silent}"
+
+
+def test_tests_and_benchmarks_scan_without_findings():
+    # Library rules do not apply outside src/, but the suppression scanner
+    # does: malformed noqa comments anywhere are RPR001 findings.
+    findings = lint_paths([str(REPO_ROOT / "tests"), str(REPO_ROOT / "benchmarks")])
+    assert unsuppressed(findings) == [], "\n" + render_text(findings)

@@ -1,0 +1,103 @@
+"""CLI contract: exit codes, formats, and module/script parity."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+CLEAN_SNIPPET = "from repro import units\n\nRATE = units.mbps(45.0)\n"
+BAD_SNIPPET = "def rate(mbits):\n    return mbits * 1e6 / 8\n"
+
+
+def write_library_file(tmp_path, name, text):
+    """Place a snippet under a src/repro-like path so library rules apply."""
+    target = tmp_path / "src" / "repro" / "sim" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = write_library_file(tmp_path, "clean.py", CLEAN_SNIPPET)
+        assert main([str(target)]) == EXIT_CLEAN
+        assert "clean: 0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = write_library_file(tmp_path, "bad.py", BAD_SNIPPET)
+        assert main([str(target)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "RPR102" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == EXIT_ERROR
+        assert "error" in capsys.readouterr().err
+
+    def test_no_paths_exits_two(self, capsys):
+        assert main([]) == EXIT_ERROR
+        assert "no paths given" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        target = write_library_file(tmp_path, "clean.py", CLEAN_SNIPPET)
+        assert main(["--select", "RPR999", str(target)]) == EXIT_ERROR
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        target = write_library_file(tmp_path, "broken.py", "def broken(:\n")
+        assert main([str(target)]) == EXIT_ERROR
+        assert "error" in capsys.readouterr().err
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        target = write_library_file(tmp_path, "bad.py", BAD_SNIPPET)
+        assert main(["--select", "RPR101", str(target)]) == EXIT_CLEAN
+        capsys.readouterr()
+
+
+class TestOutputs:
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        target = write_library_file(tmp_path, "bad.py", BAD_SNIPPET)
+        assert main(["--format", "json", str(target)]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["RPR102"] == 1
+        assert payload["findings"][0]["rule"] == "RPR102"
+        assert payload["findings"][0]["line"] == 2
+
+    def test_list_rules_names_all_five_domain_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in ("RPR101", "RPR102", "RPR103", "RPR104", "RPR105"):
+            assert rule_id in out
+
+
+class TestModuleParity:
+    """`python -m repro.lint` and the console-script path share main()."""
+
+    def run_module(self, args, tmp_path):
+        env = {"PYTHONPATH": str(SRC_ROOT), "PATH": "/usr/bin:/bin"}
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=tmp_path,
+        )
+
+    def test_module_entry_matches_main_for_findings(self, tmp_path):
+        target = write_library_file(tmp_path, "bad.py", BAD_SNIPPET)
+        result = self.run_module([str(target)], tmp_path)
+        assert result.returncode == EXIT_FINDINGS
+        assert "RPR102" in result.stdout
+
+    def test_module_entry_matches_main_for_clean(self, tmp_path):
+        target = write_library_file(tmp_path, "clean.py", CLEAN_SNIPPET)
+        result = self.run_module([str(target)], tmp_path)
+        assert result.returncode == EXIT_CLEAN
+        assert "clean: 0 findings" in result.stdout
+
+    def test_module_entry_usage_error(self, tmp_path):
+        result = self.run_module([], tmp_path)
+        assert result.returncode == EXIT_ERROR

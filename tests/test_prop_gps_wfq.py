@@ -40,16 +40,17 @@ def departures_under(scheduler_factory, arrivals):
     sim = Simulator()
     scheduler = scheduler_factory(sim)
     collector = StatsCollector()
-    # Big buffer: no drops, this is purely about ordering/timing.
-    port = OutputPort(sim, RATE, scheduler, TailDropManager(1e9), collector)
     records = []
-    original = port._finish_transmission
 
-    def traced(packet):
-        original(packet)
-        records.append((packet, sim.now))
+    # OutputPort is slotted, so tracing hooks go in a subclass rather
+    # than instance monkeypatching.
+    class TracedPort(OutputPort):
+        def _finish_transmission(self, packet):
+            super()._finish_transmission(packet)
+            records.append((packet, sim.now))
 
-    port._finish_transmission = traced
+    # Big buffer: no drops, this is purely about ordering/timing.
+    port = TracedPort(sim, RATE, scheduler, TailDropManager(1e9), collector)
     time = 0.0
     normalized = []
     for gap, flow_id, size in arrivals:

@@ -90,14 +90,15 @@ class TestConservation:
         sim = Simulator()
         collector = StatsCollector()
         departed = []
-        port = OutputPort(sim, 100_000.0, FIFOScheduler(), make_manager(), collector)
-        original = port._finish_transmission
 
-        def traced(packet):
-            departed.append(packet.seq)
-            original(packet)
+        # OutputPort is slotted, so tracing hooks go in a subclass rather
+        # than instance monkeypatching.
+        class TracedPort(OutputPort):
+            def _finish_transmission(self, packet):
+                departed.append(packet.seq)
+                super()._finish_transmission(packet)
 
-        port._finish_transmission = traced
+        port = TracedPort(sim, 100_000.0, FIFOScheduler(), make_manager(), collector)
         time = 0.0
         admitted = []
         for gap, flow_id, size in arrivals:
