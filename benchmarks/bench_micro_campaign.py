@@ -1,0 +1,109 @@
+"""Micro-benchmarks: campaign execution pipeline.
+
+Times a 40-job Figure-1-style sweep three ways — serial, parallel
+(4 workers), and replayed from a warm content-addressed cache — and
+archives the comparison under ``results/``.  Two properties are asserted
+unconditionally:
+
+* parallel results are byte-identical to serial ones, and
+* a warm-cache replay serves >= 95% of jobs from cache in under 10% of
+  the cold wall time.
+
+The parallel >= 2x speedup assertion is gated on the machine actually
+having multiple cores; on a single-core box the speedup is still
+measured and reported, but fork/pickle overhead makes 2x unattainable
+and the assertion would only test the hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.campaign import CampaignRunner, ResultCache, ScenarioJob
+from repro.experiments.schemes import Scheme
+from repro.experiments.workloads import table1_flows
+from repro.units import mbytes
+
+JOB_SCHEMES = (Scheme.FIFO_NONE, Scheme.FIFO_THRESHOLD)
+JOB_BUFFERS = tuple(mbytes(b) for b in (0.5, 1.0, 2.0, 3.5, 5.0))
+JOB_SEEDS = (1, 2, 3, 4)
+SIM_TIME = 0.5
+
+
+def campaign_jobs() -> list[ScenarioJob]:
+    """A 40-job sweep (2 schemes x 5 buffers x 4 seeds), all distinct."""
+    flows = table1_flows()
+    return [
+        ScenarioJob(
+            flows=flows, scheme=scheme, buffer_size=buffer,
+            seed=seed, sim_time=SIM_TIME, warmup=0.1,
+        )
+        for scheme in JOB_SCHEMES
+        for buffer in JOB_BUFFERS
+        for seed in JOB_SEEDS
+    ]
+
+
+def timed_run(runner: CampaignRunner, jobs) -> tuple[float, list]:
+    start = time.perf_counter()
+    records = runner.run(jobs)
+    return time.perf_counter() - start, records
+
+
+def canonical(records) -> list[str]:
+    return [json.dumps(record.to_dict(), sort_keys=True) for record in records]
+
+
+def test_campaign_serial_parallel_cache(publish, tmp_path):
+    jobs = campaign_jobs()
+    assert len(jobs) >= 40
+
+    serial_time, serial_records = timed_run(CampaignRunner(workers=1), jobs)
+    parallel_runner = CampaignRunner(workers=4)
+    parallel_time, parallel_records = timed_run(parallel_runner, jobs)
+
+    # Determinism is the contract: a process pool must not change results.
+    assert canonical(parallel_records) == canonical(serial_records)
+
+    cache = ResultCache(tmp_path / "cache")
+    cold_runner = CampaignRunner(cache=cache)
+    cold_time, cold_records = timed_run(cold_runner, jobs)
+    assert cold_runner.last_stats.executed == len(jobs)
+
+    warm_runner = CampaignRunner(cache=cache)
+    warm_time, warm_records = timed_run(warm_runner, jobs)
+    stats = warm_runner.last_stats
+    assert stats.hit_fraction >= 0.95
+    assert warm_time < 0.10 * cold_time
+    assert canonical(warm_records) == canonical(cold_records)
+
+    speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
+    replay = warm_time / cold_time if cold_time > 0 else 0.0
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        assert speedup >= 2.0, (
+            f"expected >= 2x parallel speedup on {cores} cores, got {speedup:.2f}x"
+        )
+
+    lines = [
+        "Campaign pipeline micro-benchmark",
+        f"[{len(jobs)} jobs: {len(JOB_SCHEMES)} schemes x "
+        f"{len(JOB_BUFFERS)} buffers x {len(JOB_SEEDS)} seeds, "
+        f"sim_time={SIM_TIME}s, {cores} core(s)]",
+        "",
+        f"serial (workers=1)     {serial_time:8.3f} s",
+        f"parallel (workers=4)   {parallel_time:8.3f} s   "
+        f"speedup {speedup:.2f}x",
+        f"cold cache             {cold_time:8.3f} s   "
+        f"({cold_runner.last_stats.executed} executed)",
+        f"warm cache replay      {warm_time:8.3f} s   "
+        f"({stats.cache_hits}/{stats.unique} hits, "
+        f"{100.0 * replay:.1f}% of cold time)",
+    ]
+    if cores < 2:
+        lines.append(
+            "note: single-core machine; >= 2x speedup assertion skipped"
+        )
+    publish("micro_campaign", "\n".join(lines))

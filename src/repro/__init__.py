@@ -48,6 +48,10 @@ from repro.core import (
 )
 from repro.experiments import (
     LINK_RATE,
+    CampaignRunner,
+    ResultCache,
+    ScenarioJob,
+    ScenarioRecord,
     Scheme,
     build_scheme,
     run_replications,
@@ -91,4 +95,6 @@ __all__ = [
     # experiments
     "LINK_RATE", "Scheme", "build_scheme", "run_scenario",
     "run_replications", "table1_flows", "table2_flows",
+    # campaigns
+    "ScenarioJob", "ScenarioRecord", "CampaignRunner", "ResultCache",
 ]

@@ -6,6 +6,11 @@ Usage::
     python -m repro figure1             # run one figure (fast mode)
     python -m repro figure4 --full      # paper-faithful sizing
     python -m repro all --out results/  # everything, archived to files
+    python -m repro all --workers 4 --cache-dir results/cache
+
+    python -m repro campaign run --spec spec.json --workers 4
+    python -m repro campaign status     # cache location, entries, size
+    python -m repro campaign clear-cache
 """
 
 from __future__ import annotations
@@ -14,6 +19,9 @@ import argparse
 import pathlib
 import sys
 
+from repro.experiments.campaign import CampaignRunner, ResultCache
+from repro.experiments.campaign.cache import DEFAULT_CACHE_DIR
+from repro.experiments.campaign.job import CAMPAIGN_SCHEMA
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import format_figure
 
@@ -29,15 +37,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         help=(
-            "figure to run (figure1..figure13), 'all', 'list', or 'run' "
-            "with --spec for declarative scenarios"
+            "figure to run (figure1..figure13), 'all', 'list', 'run' "
+            "with --spec for declarative scenarios, or 'campaign' with "
+            "an action (run/status/clear-cache)"
         ),
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="campaign action: run, status, or clear-cache",
     )
     parser.add_argument(
         "--spec",
         type=pathlib.Path,
         default=None,
-        help="JSON scenario spec file (used with the 'run' target)",
+        help="JSON scenario spec file (used with 'run' and 'campaign run')",
     )
     parser.add_argument(
         "--full",
@@ -50,11 +65,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to archive rendered figures into",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for campaign execution (default: serial, "
+        "or the REPRO_WORKERS environment variable)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="content-addressed result cache directory (default: no cache "
+        "for figures, results/cache for campaign actions; REPRO_CACHE "
+        "also enables it)",
+    )
     return parser
 
 
-def run_target(name: str, fast: bool, out: pathlib.Path | None) -> None:
-    figure = ALL_FIGURES[name](fast=fast)
+def _build_runner(args: argparse.Namespace) -> CampaignRunner | None:
+    """The runner requested by CLI flags, or None for env defaults."""
+    if args.workers is None and args.cache_dir is None:
+        return None
+    cache = None if args.cache_dir is None else ResultCache(args.cache_dir)
+    return CampaignRunner(workers=args.workers or 1, cache=cache)
+
+
+def run_target(
+    name: str,
+    fast: bool,
+    out: pathlib.Path | None,
+    runner: CampaignRunner | None = None,
+) -> None:
+    figure = ALL_FIGURES[name](fast=fast, runner=runner)
     text = format_figure(figure)
     print(text)
     print()
@@ -63,26 +106,70 @@ def run_target(name: str, fast: bool, out: pathlib.Path | None) -> None:
         (out / f"{name}.txt").write_text(text + "\n")
 
 
-def run_spec_file(path: pathlib.Path) -> None:
+def run_spec_file(path: pathlib.Path, runner: CampaignRunner | None = None) -> None:
     from repro import units
     from repro.experiments.report import format_table
     from repro.experiments.spec import load_specs, run_spec
 
     for spec in load_specs(path):
-        results = run_spec(spec)
+        results = run_spec(spec, runner=runner)
         rows = [[label, str(value)] for label, value in results.items()]
         print(f"{spec.name} [{spec.scheme.value}, B = {units.to_mbytes(spec.buffer_bytes):g} MB]")
         print(format_table(["metric", "mean ± 95% CI"], rows))
+        if runner is not None and runner.last_stats is not None:
+            stats = runner.last_stats
+            print(
+                f"[campaign: {stats.submitted} jobs, {stats.unique} unique, "
+                f"{stats.cache_hits} cached, {stats.executed} executed]"
+            )
         print()
+
+
+def _campaign_cache(args: argparse.Namespace) -> ResultCache:
+    return ResultCache(args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR)
+
+
+def run_campaign(args: argparse.Namespace) -> int:
+    from repro import units
+
+    if args.action == "run":
+        if args.spec is None:
+            print("'campaign run' requires --spec <file.json>", file=sys.stderr)
+            return 2
+        runner = CampaignRunner(
+            workers=args.workers or 1, cache=_campaign_cache(args)
+        )
+        run_spec_file(args.spec, runner=runner)
+        return 0
+    if args.action == "status":
+        cache = _campaign_cache(args)
+        entries = cache.entries()
+        print(f"cache directory : {cache.root}")
+        print(f"schema tag      : {CAMPAIGN_SCHEMA}")
+        print(f"entries         : {len(entries)}")
+        print(f"size            : {units.to_mbytes(cache.size_bytes()):.3f} MB")
+        return 0
+    if args.action == "clear-cache":
+        cache = _campaign_cache(args)
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    print(
+        f"unknown campaign action {args.action!r}; use run, status, or clear-cache",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.target == "campaign":
+        return run_campaign(args)
     if args.target == "run":
         if args.spec is None:
             print("the 'run' target requires --spec <file.json>", file=sys.stderr)
             return 2
-        run_spec_file(args.spec)
+        run_spec_file(args.spec, runner=_build_runner(args))
         return 0
     if args.target == "list":
         for name, fn in ALL_FIGURES.items():
@@ -90,13 +177,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:10s} {doc}")
         return 0
     if args.target == "all":
+        runner = _build_runner(args)
         for name in ALL_FIGURES:
-            run_target(name, fast=not args.full, out=args.out)
+            run_target(name, fast=not args.full, out=args.out, runner=runner)
         return 0
     if args.target not in ALL_FIGURES:
         print(f"unknown target {args.target!r}; try 'list'", file=sys.stderr)
         return 2
-    run_target(args.target, fast=not args.full, out=args.out)
+    run_target(args.target, fast=not args.full, out=args.out, runner=_build_runner(args))
     return 0
 
 

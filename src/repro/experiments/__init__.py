@@ -1,10 +1,28 @@
-"""Experiment harness: workloads, schemes, runner, figures, reports."""
+"""Experiment harness: workloads, schemes, campaigns, figures, reports."""
 
-from repro.experiments.config import SweepConfig, full_mode_enabled, sweep_config
+from repro.experiments.campaign import (
+    CampaignRunner,
+    CampaignStats,
+    ResultCache,
+    ScenarioJob,
+    ScenarioRecord,
+)
+from repro.experiments.config import (
+    SweepConfig,
+    campaign_cache_setting,
+    campaign_workers,
+    full_mode_enabled,
+    sweep_config,
+)
 from repro.experiments.figures import ALL_FIGURES, FigureResult
 from repro.experiments.report import format_figure, format_table
-from repro.experiments.runner import ScenarioResult, run_replications, run_scenario
-from repro.experiments.spec import ScenarioSpec, load_specs, run_spec
+from repro.experiments.runner import (
+    ReplicationResult,
+    ScenarioResult,
+    run_replications,
+    run_scenario,
+)
+from repro.experiments.spec import ScenarioSpec, jobs_for_spec, load_specs, run_spec
 from repro.experiments.schemes import DEFAULT_HEADROOM, Scheme, SchemeBuild, build_scheme
 from repro.experiments.workloads import (
     CASE1_GROUPS,
@@ -21,17 +39,26 @@ from repro.experiments.workloads import (
 )
 
 __all__ = [
+    "CampaignRunner",
+    "CampaignStats",
+    "ResultCache",
+    "ScenarioJob",
+    "ScenarioRecord",
     "SweepConfig",
+    "campaign_cache_setting",
+    "campaign_workers",
     "full_mode_enabled",
     "sweep_config",
     "ALL_FIGURES",
     "FigureResult",
     "format_figure",
     "format_table",
+    "ReplicationResult",
     "ScenarioResult",
     "run_replications",
     "run_scenario",
     "ScenarioSpec",
+    "jobs_for_spec",
     "load_specs",
     "run_spec",
     "DEFAULT_HEADROOM",

@@ -1,0 +1,39 @@
+"""Campaign execution pipeline: describe -> execute -> measure.
+
+Every figure and table in the paper is a sweep of independent simulation
+runs (buffer sizes x schemes x seeds).  This package turns that shape
+into an explicit three-stage pipeline:
+
+1. **describe** — a :class:`ScenarioJob` freezes everything one run needs
+   into a hashable value with a stable content digest;
+2. **execute** — a :class:`CampaignRunner` executes batches of jobs,
+   serially or across a process pool, deduplicating by digest and
+   consulting a content-addressed :class:`ResultCache`;
+3. **measure** — each run returns a :class:`ScenarioRecord`, a plain
+   serializable measurement record (byte counters, thresholds, eagerly
+   extracted delay percentiles) that survives pickling and JSON
+   round-trips byte-identically.
+
+See ``docs/campaigns.md`` for the full pipeline description and CLI.
+"""
+
+from repro.experiments.campaign.cache import ResultCache
+from repro.experiments.campaign.job import CAMPAIGN_SCHEMA, ScenarioJob
+from repro.experiments.campaign.record import ScenarioRecord
+from repro.experiments.campaign.runner import (
+    CampaignRunner,
+    CampaignStats,
+    default_runner,
+    execute_job,
+)
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "ScenarioJob",
+    "ScenarioRecord",
+    "ResultCache",
+    "CampaignRunner",
+    "CampaignStats",
+    "default_runner",
+    "execute_job",
+]

@@ -1,0 +1,108 @@
+"""Content-addressed on-disk result cache.
+
+Entries live at ``<root>/<digest>.json`` where ``digest`` is the
+:meth:`~repro.experiments.campaign.job.ScenarioJob.digest` of the job
+that produced the record.  Because the digest covers every input (and
+the :data:`~repro.experiments.campaign.job.CAMPAIGN_SCHEMA` tag),
+invalidation is automatic: change any input or bump the schema and the
+lookup simply misses.  Unreadable, corrupt, or schema-mismatched entries
+are treated as misses, never as errors — a cache must not be able to
+fail a campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign.job import CAMPAIGN_SCHEMA
+from repro.experiments.campaign.record import ScenarioRecord
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default location, relative to the working directory (kept under
+#: ``results/`` next to the rendered figures it accelerates).
+DEFAULT_CACHE_DIR = pathlib.Path("results") / "cache"
+
+
+class ResultCache:
+    """Digest-keyed store of :class:`ScenarioRecord` JSON files.
+
+    Args:
+        root: cache directory; created lazily on the first store.
+    """
+
+    __slots__ = ("root", "hits", "misses", "stores")
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = pathlib.Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ConfigurationError(f"cache root {self.root} is not a directory")
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path(self, digest: str) -> pathlib.Path:
+        """Where the entry for ``digest`` lives (whether or not it exists)."""
+        return self.root / f"{digest}.json"
+
+    def get(self, digest: str) -> ScenarioRecord | None:
+        """The cached record for ``digest``, or ``None`` on any miss."""
+        path = self.path(digest)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(raw, dict) or raw.get("schema") != CAMPAIGN_SCHEMA:
+            self.misses += 1
+            return None
+        try:
+            record = ScenarioRecord.from_dict(raw)
+        except (ConfigurationError, KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        if record.job_digest != digest:
+            # The file was renamed or tampered with; content addressing
+            # means the name must match the payload.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, record: ScenarioRecord) -> pathlib.Path:
+        """Store a record under its job digest (atomic rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(record.job_digest)
+        payload = json.dumps(record.to_dict(), sort_keys=True, indent=1)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path(digest).is_file()
+
+    def entries(self) -> list[pathlib.Path]:
+        """All entry files, sorted by name (i.e. by digest)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def size_bytes(self) -> int:
+        """Total bytes used by cache entries."""
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed

@@ -1,0 +1,206 @@
+"""The *measure* stage: plain serializable measurement records.
+
+:class:`ScenarioRecord` is the campaign-side split of
+:class:`~repro.experiments.runner.ScenarioResult`: the same measurement
+API (throughput, utilization, loss, delay percentiles) over plain data —
+no live :class:`~repro.metrics.collector.StatsCollector`, no open
+histograms.  That makes records picklable (so they can cross a process
+pool) and JSON-serializable (so they can live in the on-disk cache), and
+a record rebuilt from either representation compares equal to the
+original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign.job import CAMPAIGN_SCHEMA
+from repro.experiments.schemes import Scheme
+from repro.metrics.collector import FlowStats
+from repro.metrics.records import (
+    DelaySummary,
+    flow_stats_from_dict,
+    flow_stats_to_dict,
+)
+
+if TYPE_CHECKING:  # circular at runtime: runner builds records
+    from repro.experiments.runner import ScenarioResult
+
+__all__ = ["ScenarioRecord"]
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """Measurements of one simulation run, as plain data.
+
+    All byte counters cover the measurement window ``[warmup, sim_time]``.
+    The measurement helpers mirror
+    :class:`~repro.experiments.runner.ScenarioResult`, so metric callables
+    written for live results work on records unchanged.
+    """
+
+    job_digest: str
+    scheme: Scheme
+    buffer_size: float
+    link_rate: float
+    sim_time: float
+    warmup: float
+    seed: int
+    events_processed: int
+    flow_stats: dict[int, FlowStats] = field(default_factory=dict)
+    thresholds: dict[int, float] = field(default_factory=dict)
+    queue_rates: tuple[float, ...] | None = None
+    queue_buffers: tuple[float, ...] | None = None
+    delays: dict[int, DelaySummary] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def from_result(result: "ScenarioResult", job_digest: str) -> "ScenarioRecord":
+        """Extract the serializable measurements from a live result.
+
+        Delay percentiles are pulled out of the collector's histograms
+        eagerly (when the run recorded them), which is what frees the
+        record from referencing the live collector.
+        """
+        delays: dict[int, DelaySummary] = {}
+        collector = result.collector
+        if collector is not None and collector.delay_histograms:
+            for flow_id in sorted(result.flow_stats):
+                delays[flow_id] = DelaySummary.from_histogram(
+                    collector.delay_histogram(flow_id)
+                )
+        return ScenarioRecord(
+            job_digest=job_digest,
+            scheme=result.scheme,
+            buffer_size=result.buffer_size,
+            link_rate=result.link_rate,
+            sim_time=result.sim_time,
+            warmup=result.warmup,
+            seed=result.seed,
+            events_processed=result.events_processed,
+            flow_stats={i: result.flow_stats[i] for i in sorted(result.flow_stats)},
+            thresholds={i: result.thresholds[i] for i in sorted(result.thresholds)},
+            queue_rates=None
+            if result.queue_rates is None
+            else tuple(result.queue_rates),
+            queue_buffers=None
+            if result.queue_buffers is None
+            else tuple(result.queue_buffers),
+            delays=delays,
+        )
+
+    # -- measurement API (mirrors ScenarioResult) --------------------------
+
+    @property
+    def duration(self) -> float:
+        return self.sim_time - self.warmup
+
+    def throughput(self, flow_ids: Sequence[int] | None = None) -> float:
+        """Delivered bytes/second over the given flows (default: all)."""
+        ids = self.flow_stats.keys() if flow_ids is None else flow_ids
+        departed = sum(
+            self.flow_stats[i].departed_bytes for i in ids if i in self.flow_stats
+        )
+        return departed / self.duration
+
+    def utilization(self, flow_ids: Sequence[int] | None = None) -> float:
+        """Throughput as a fraction of the link rate."""
+        return self.throughput(flow_ids) / self.link_rate
+
+    def loss_fraction(self, flow_ids: Sequence[int] | None = None) -> float:
+        """Dropped / offered bytes over the given flows (default: all)."""
+        ids = list(self.flow_stats.keys() if flow_ids is None else flow_ids)
+        offered = sum(self.flow_stats[i].offered_bytes for i in ids if i in self.flow_stats)
+        if offered <= 0:
+            return 0.0
+        dropped = sum(self.flow_stats[i].dropped_bytes for i in ids if i in self.flow_stats)
+        return dropped / offered
+
+    def delay_percentile(self, flow_id: int, q: float) -> float:
+        """Per-flow delay percentile from the eagerly-extracted grid.
+
+        Requires the job to have been run with ``delay_histograms=True``;
+        only the :data:`~repro.metrics.records.DELAY_PERCENTILES` grid is
+        available on a record.
+        """
+        if not self.delays:
+            raise ConfigurationError("scenario was run without delay histograms")
+        summary = self.delays.get(flow_id)
+        if summary is None:
+            raise ConfigurationError(f"no delay summary for flow {flow_id}")
+        return summary.percentile(q)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-friendly form; round-trips via :meth:`from_dict`."""
+        return {
+            "schema": CAMPAIGN_SCHEMA,
+            "job_digest": self.job_digest,
+            "scheme": self.scheme.name,
+            "buffer_size": float(self.buffer_size),
+            "link_rate": float(self.link_rate),
+            "sim_time": float(self.sim_time),
+            "warmup": float(self.warmup),
+            "seed": int(self.seed),
+            "events_processed": int(self.events_processed),
+            "flow_stats": {
+                str(i): flow_stats_to_dict(self.flow_stats[i])
+                for i in sorted(self.flow_stats)
+            },
+            "thresholds": {
+                str(i): float(self.thresholds[i]) for i in sorted(self.thresholds)
+            },
+            "queue_rates": None
+            if self.queue_rates is None
+            else [float(value) for value in self.queue_rates],
+            "queue_buffers": None
+            if self.queue_buffers is None
+            else [float(value) for value in self.queue_buffers],
+            "delays": {
+                str(i): self.delays[i].to_dict() for i in sorted(self.delays)
+            },
+        }
+
+    @staticmethod
+    def from_dict(raw: dict) -> "ScenarioRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        schema = raw.get("schema")
+        if schema != CAMPAIGN_SCHEMA:
+            raise ConfigurationError(
+                f"record schema mismatch: got {schema!r}, expected "
+                f"{CAMPAIGN_SCHEMA!r}"
+            )
+        try:
+            scheme = Scheme[raw["scheme"]]
+        except KeyError:
+            raise ConfigurationError(f"unknown scheme {raw.get('scheme')!r}") from None
+        queue_rates = raw.get("queue_rates")
+        queue_buffers = raw.get("queue_buffers")
+        return ScenarioRecord(
+            job_digest=str(raw["job_digest"]),
+            scheme=scheme,
+            buffer_size=float(raw["buffer_size"]),
+            link_rate=float(raw["link_rate"]),
+            sim_time=float(raw["sim_time"]),
+            warmup=float(raw["warmup"]),
+            seed=int(raw["seed"]),
+            events_processed=int(raw["events_processed"]),
+            flow_stats={
+                int(i): flow_stats_from_dict(entry)
+                for i, entry in sorted(raw["flow_stats"].items(), key=lambda kv: int(kv[0]))
+            },
+            thresholds={
+                int(i): float(value)
+                for i, value in sorted(raw["thresholds"].items(), key=lambda kv: int(kv[0]))
+            },
+            queue_rates=None if queue_rates is None else tuple(queue_rates),
+            queue_buffers=None if queue_buffers is None else tuple(queue_buffers),
+            delays={
+                int(i): DelaySummary.from_dict(entry)
+                for i, entry in sorted(raw["delays"].items(), key=lambda kv: int(kv[0]))
+            },
+        )

@@ -1,0 +1,164 @@
+"""The *execute* stage: batch execution, process pools, and caching.
+
+A :class:`CampaignRunner` takes a batch of
+:class:`~repro.experiments.campaign.job.ScenarioJob` descriptions and
+returns one :class:`~repro.experiments.campaign.record.ScenarioRecord`
+per job, in the order the jobs were submitted.  Three properties make
+campaigns cheap at figure scale:
+
+* **deduplication** — jobs are keyed by content digest, so a figure
+  whose curves share (scheme, buffer, seed) combinations (e.g. Figure 3's
+  per-flow curves) simulates each combination once;
+* **caching** — with a :class:`~repro.experiments.campaign.cache.ResultCache`
+  attached, only jobs whose inputs changed are simulated; and
+* **parallelism** — with ``workers > 1`` misses are dispatched to a
+  ``concurrent.futures.ProcessPoolExecutor`` in digest order with
+  chunked scheduling.  Results are keyed by digest and re-emitted in
+  submission order, so a parallel run is byte-identical to a serial one.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.experiments.campaign.job import ScenarioJob
+from repro.experiments.campaign.record import ScenarioRecord
+from repro.experiments.config import campaign_cache_setting, campaign_workers
+
+__all__ = ["CampaignRunner", "CampaignStats", "default_runner", "execute_job"]
+
+
+def execute_job(job: ScenarioJob) -> ScenarioRecord:
+    """Run one job to completion and return its measurement record.
+
+    Module-level (not a method) so a ``ProcessPoolExecutor`` can pickle
+    it by reference into worker processes.
+    """
+    # Imported here, not at module top: repro.experiments.runner imports
+    # this package lazily for run_replications, and a top-level import in
+    # both directions would be circular.
+    from repro.experiments.runner import run_scenario
+
+    result = run_scenario(
+        job.flows, job.scheme, job.buffer_size, **job.scenario_kwargs()
+    )
+    return ScenarioRecord.from_result(result, job.digest())
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """Execution accounting for one :meth:`CampaignRunner.run` call."""
+
+    submitted: int
+    unique: int
+    cache_hits: int
+    executed: int
+
+    @property
+    def hit_fraction(self) -> float:
+        """Fraction of unique jobs served from cache (0 when empty)."""
+        if self.unique == 0:
+            return 0.0
+        return self.cache_hits / self.unique
+
+
+class CampaignRunner:
+    """Executes job batches serially or across a process pool.
+
+    Args:
+        workers: process count; ``1`` (the default) runs in-process.
+        cache: optional result cache consulted before and filled after
+            execution.
+        chunk_size: jobs per pool dispatch; defaults to a size that gives
+            each worker several chunks (dynamic load balancing without
+            per-job dispatch overhead).
+    """
+
+    __slots__ = ("workers", "cache", "chunk_size", "last_stats")
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self.last_stats: CampaignStats | None = None
+
+    def run(self, jobs: Sequence[ScenarioJob]) -> list[ScenarioRecord]:
+        """Execute a batch; returns records aligned with ``jobs``.
+
+        Duplicate jobs (same digest) are simulated once and the shared
+        record is returned at every submission position.
+        """
+        digests = [job.digest() for job in jobs]
+        unique: dict[str, ScenarioJob] = {}
+        for digest, job in zip(digests, jobs):
+            unique.setdefault(digest, job)
+
+        records: dict[str, ScenarioRecord] = {}
+        if self.cache is not None:
+            for digest in unique:
+                cached = self.cache.get(digest)
+                if cached is not None:
+                    records[digest] = cached
+        cache_hits = len(records)
+
+        pending = [
+            (digest, job) for digest, job in unique.items() if digest not in records
+        ]
+        if pending:
+            fresh = self._execute([job for _digest, job in pending])
+            for (digest, _job), record in zip(pending, fresh):
+                records[digest] = record
+                if self.cache is not None:
+                    self.cache.put(record)
+
+        self.last_stats = CampaignStats(
+            submitted=len(jobs),
+            unique=len(unique),
+            cache_hits=cache_hits,
+            executed=len(pending),
+        )
+        return [records[digest] for digest in digests]
+
+    def _execute(self, jobs: list[ScenarioJob]) -> list[ScenarioRecord]:
+        workers = min(self.workers, len(jobs))
+        if workers <= 1:
+            return [execute_job(job) for job in jobs]
+        chunk = self.chunk_size
+        if chunk is None:
+            # Aim for ~4 chunks per worker: coarse enough to amortise
+            # dispatch, fine enough that a slow chunk cannot serialise
+            # the tail of the batch.
+            chunk = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_job, jobs, chunksize=chunk))
+
+
+def default_runner() -> CampaignRunner:
+    """The environment-configured runner used by the figure sweeps.
+
+    ``REPRO_WORKERS`` sets the process count (default 1, i.e. serial) and
+    ``REPRO_CACHE`` enables the on-disk cache (``1`` for the default
+    ``results/cache`` location, any other non-empty value is used as the
+    cache directory; unset/``0`` disables caching).
+    """
+    setting = campaign_cache_setting()
+    if setting is None:
+        cache = None
+    elif setting in ("1", "true", "yes"):
+        cache = ResultCache(DEFAULT_CACHE_DIR)
+    else:
+        cache = ResultCache(setting)
+    return CampaignRunner(workers=campaign_workers(), cache=cache)

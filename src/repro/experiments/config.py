@@ -14,12 +14,44 @@ from dataclasses import dataclass
 
 from repro.units import mbytes
 
-__all__ = ["SweepConfig", "sweep_config", "full_mode_enabled"]
+__all__ = [
+    "SweepConfig",
+    "sweep_config",
+    "full_mode_enabled",
+    "campaign_workers",
+    "campaign_cache_setting",
+]
 
 
 def full_mode_enabled() -> bool:
     """True when the REPRO_FULL environment variable requests full runs."""
     return os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false", "no")
+
+
+def campaign_workers() -> int:
+    """Worker-process count for campaign execution (``REPRO_WORKERS``).
+
+    Unset, empty, or unparsable values mean serial execution (1).
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    try:
+        workers = int(raw)
+    except ValueError:
+        return 1
+    return workers if workers >= 1 else 1
+
+
+def campaign_cache_setting() -> str | None:
+    """The raw ``REPRO_CACHE`` setting, or ``None`` when caching is off.
+
+    ``1``/``true``/``yes`` request the default cache location; any other
+    non-empty value is a cache directory path.  Interpretation lives in
+    :func:`repro.experiments.campaign.default_runner`.
+    """
+    raw = os.environ.get("REPRO_CACHE", "").strip()
+    if raw in ("", "0", "false", "no"):
+        return None
+    return raw
 
 
 @dataclass(frozen=True)

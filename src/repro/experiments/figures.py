@@ -22,8 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.experiments.campaign import CampaignRunner, ScenarioJob, default_runner
 from repro.experiments.config import SweepConfig, sweep_config
-from repro.experiments.runner import ScenarioResult, run_replications
+from repro.experiments.runner import ScenarioResult
 from repro.experiments.schemes import DEFAULT_HEADROOM, Scheme
 from repro.experiments.workloads import (
     CASE1_GROUPS,
@@ -35,6 +36,7 @@ from repro.experiments.workloads import (
     table1_flows,
     table2_flows,
 )
+from repro.metrics.stats import mean_ci
 from repro.units import mbytes, to_mbps
 
 __all__ = [
@@ -80,28 +82,51 @@ def _sweep(
     config: SweepConfig,
     headroom: float = DEFAULT_HEADROOM,
     groups=None,
+    runner: CampaignRunner | None = None,
 ) -> FigureResult:
-    """Run a buffer sweep for several (scheme, metric) curves."""
+    """Run a buffer sweep for several (scheme, metric) curves.
+
+    The whole sweep is submitted as **one campaign batch**: every
+    (scheme, buffer, seed) combination becomes a
+    :class:`~repro.experiments.campaign.ScenarioJob`, the runner
+    deduplicates by content digest (curves that share a scheme — e.g.
+    per-flow throughput curves — reuse the same simulation), and each
+    curve is then measured from the returned records.
+    """
+    flows = tuple(flows)
+    campaign = default_runner() if runner is None else runner
+    schemes = list(dict.fromkeys(scheme for _label, scheme, _metric in curves))
+    keys = [
+        (scheme, buffer_size, seed)
+        for scheme in schemes
+        for buffer_size in config.buffers
+        for seed in config.seeds
+    ]
+    jobs = [
+        ScenarioJob(
+            flows=flows,
+            scheme=scheme,
+            buffer_size=buffer_size,
+            sim_time=config.sim_time,
+            seed=seed,
+            headroom=headroom,
+            groups=groups if scheme.is_hybrid else None,
+        )
+        for scheme, buffer_size, seed in keys
+    ]
+    by_key = dict(zip(keys, campaign.run(jobs)))
+
     x_mb = [b / mbytes(1.0) for b in config.buffers]
     result = FigureResult(
         name=name, title=title, xlabel="total buffer (MBytes)", ylabel=ylabel, x=x_mb
     )
     for label, scheme, metric in curves:
-        points = []
-        for buffer_size in config.buffers:
-            points.append(
-                run_replications(
-                    flows,
-                    scheme,
-                    buffer_size,
-                    metric,
-                    seeds=config.seeds,
-                    sim_time=config.sim_time,
-                    headroom=headroom,
-                    groups=groups if scheme.is_hybrid else None,
-                )
+        result.series[label] = [
+            mean_ci(
+                [metric(by_key[(scheme, buffer_size, seed)]) for seed in config.seeds]
             )
-        result.series[label] = points
+            for buffer_size in config.buffers
+        ]
     return result
 
 
@@ -133,18 +158,18 @@ _FIG123_SCHEMES = (
 )
 
 
-def figure1(fast: bool | None = None) -> FigureResult:
+def figure1(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Aggregate throughput with threshold-based buffer management."""
     config = sweep_config(fast)
     curves = [(s.value, s, _utilization) for s in _FIG123_SCHEMES]
     return _sweep(
         "Figure 1",
         "Aggregate throughput with threshold based buffer management",
-        table1_flows(), curves, _METRIC_UTILIZATION, config,
+        table1_flows(), curves, _METRIC_UTILIZATION, config, runner=runner,
     )
 
 
-def figure2(fast: bool | None = None) -> FigureResult:
+def figure2(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Loss for conformant flows with threshold-based buffer management."""
     config = sweep_config(fast)
     metric = _loss_pct(TABLE1_CONFORMANT)
@@ -152,11 +177,11 @@ def figure2(fast: bool | None = None) -> FigureResult:
     return _sweep(
         "Figure 2",
         "Loss for conformant flows with threshold based buffer management",
-        table1_flows(), curves, _METRIC_LOSS, config,
+        table1_flows(), curves, _METRIC_LOSS, config, runner=runner,
     )
 
 
-def figure3(fast: bool | None = None) -> FigureResult:
+def figure3(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Throughput for non-conformant flows 6 and 8 (fixed thresholds)."""
     config = sweep_config(fast)
     curves = []
@@ -166,7 +191,7 @@ def figure3(fast: bool | None = None) -> FigureResult:
     return _sweep(
         "Figure 3",
         "Throughput for non-conformant flows with threshold based buffer management",
-        table1_flows(), curves, _METRIC_THROUGHPUT, config,
+        table1_flows(), curves, _METRIC_THROUGHPUT, config, runner=runner,
     )
 
 
@@ -180,18 +205,18 @@ _FIG456_SCHEMES = (
 )
 
 
-def figure4(fast: bool | None = None) -> FigureResult:
+def figure4(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Aggregate throughput with buffer sharing (headroom H = 2 MB)."""
     config = sweep_config(fast)
     curves = [(s.value, s, _utilization) for s in _FIG456_SCHEMES]
     return _sweep(
         "Figure 4",
         "Aggregate throughput with Buffer Sharing",
-        table1_flows(), curves, _METRIC_UTILIZATION, config,
+        table1_flows(), curves, _METRIC_UTILIZATION, config, runner=runner,
     )
 
 
-def figure5(fast: bool | None = None) -> FigureResult:
+def figure5(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Loss for conformant flows with buffer sharing."""
     config = sweep_config(fast)
     metric = _loss_pct(TABLE1_CONFORMANT)
@@ -200,11 +225,11 @@ def figure5(fast: bool | None = None) -> FigureResult:
     return _sweep(
         "Figure 5",
         "Loss for conformant flows in Buffer Sharing",
-        table1_flows(), curves, _METRIC_LOSS, config,
+        table1_flows(), curves, _METRIC_LOSS, config, runner=runner,
     )
 
 
-def figure6(fast: bool | None = None) -> FigureResult:
+def figure6(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Throughput for non-conformant flows 6 and 8 with buffer sharing."""
     config = sweep_config(fast)
     curves = []
@@ -214,11 +239,11 @@ def figure6(fast: bool | None = None) -> FigureResult:
     return _sweep(
         "Figure 6",
         "Throughput for non-conformant flows with Buffer Sharing",
-        table1_flows(), curves, _METRIC_THROUGHPUT, config,
+        table1_flows(), curves, _METRIC_THROUGHPUT, config, runner=runner,
     )
 
 
-def figure7(fast: bool | None = None) -> FigureResult:
+def figure7(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Loss for conformant flows versus headroom, B fixed at 1 MB."""
     config = sweep_config(fast)
     headrooms_mb = (0.0, 0.125, 0.25, 0.5, 0.75, 1.0)
@@ -232,21 +257,33 @@ def figure7(fast: bool | None = None) -> FigureResult:
         ylabel=_METRIC_LOSS,
         x=list(headrooms_mb),
     )
-    for scheme in (Scheme.FIFO_SHARING, Scheme.WFQ_SHARING):
-        points = []
-        for headroom_mb in headrooms_mb:
-            points.append(
-                run_replications(
-                    flows,
-                    scheme,
-                    buffer_size,
-                    metric,
-                    seeds=config.seeds,
-                    sim_time=config.sim_time,
-                    headroom=mbytes(headroom_mb),
-                )
+    campaign = default_runner() if runner is None else runner
+    schemes = (Scheme.FIFO_SHARING, Scheme.WFQ_SHARING)
+    keys = [
+        (scheme, headroom_mb, seed)
+        for scheme in schemes
+        for headroom_mb in headrooms_mb
+        for seed in config.seeds
+    ]
+    jobs = [
+        ScenarioJob(
+            flows=tuple(flows),
+            scheme=scheme,
+            buffer_size=buffer_size,
+            sim_time=config.sim_time,
+            seed=seed,
+            headroom=mbytes(headroom_mb),
+        )
+        for scheme, headroom_mb, seed in keys
+    ]
+    by_key = dict(zip(keys, campaign.run(jobs)))
+    for scheme in schemes:
+        result.series[scheme.value] = [
+            mean_ci(
+                [metric(by_key[(scheme, headroom_mb, seed)]) for seed in config.seeds]
             )
-        result.series[scheme.value] = points
+            for headroom_mb in headrooms_mb
+        ]
     return result
 
 
@@ -255,18 +292,18 @@ def figure7(fast: bool | None = None) -> FigureResult:
 _HYBRID_SCHEMES = (Scheme.HYBRID_SHARING, Scheme.WFQ_SHARING, Scheme.FIFO_SHARING)
 
 
-def figure8(fast: bool | None = None) -> FigureResult:
+def figure8(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Hybrid Case 1: aggregate throughput with buffer sharing."""
     config = sweep_config(fast)
     curves = [(s.value, s, _utilization) for s in _HYBRID_SCHEMES]
     return _sweep(
         "Figure 8",
         "Hybrid System, Case 1: Aggregate throughput with Buffer Sharing",
-        table1_flows(), curves, _METRIC_UTILIZATION, config, groups=CASE1_GROUPS,
+        table1_flows(), curves, _METRIC_UTILIZATION, config, groups=CASE1_GROUPS, runner=runner,
     )
 
 
-def figure9(fast: bool | None = None) -> FigureResult:
+def figure9(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Hybrid Case 1: loss for conformant flows."""
     config = sweep_config(fast)
     metric = _loss_pct(TABLE1_CONFORMANT)
@@ -274,11 +311,11 @@ def figure9(fast: bool | None = None) -> FigureResult:
     return _sweep(
         "Figure 9",
         "Hybrid System, Case 1: Loss for conformant flows with Buffer Sharing",
-        table1_flows(), curves, _METRIC_LOSS, config, groups=CASE1_GROUPS,
+        table1_flows(), curves, _METRIC_LOSS, config, groups=CASE1_GROUPS, runner=runner,
     )
 
 
-def figure10(fast: bool | None = None) -> FigureResult:
+def figure10(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Hybrid Case 1: throughput for non-conformant flows 6 and 8."""
     config = sweep_config(fast)
     curves = []
@@ -288,22 +325,22 @@ def figure10(fast: bool | None = None) -> FigureResult:
     return _sweep(
         "Figure 10",
         "Hybrid System, Case 1: Throughput for non-conformant flows with Buffer Sharing",
-        table1_flows(), curves, _METRIC_THROUGHPUT, config, groups=CASE1_GROUPS,
+        table1_flows(), curves, _METRIC_THROUGHPUT, config, groups=CASE1_GROUPS, runner=runner,
     )
 
 
-def figure11(fast: bool | None = None) -> FigureResult:
+def figure11(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Hybrid Case 2 (30 flows): aggregate throughput."""
     config = sweep_config(fast)
     curves = [(s.value, s, _utilization) for s in _HYBRID_SCHEMES]
     return _sweep(
         "Figure 11",
         "Hybrid System, Case 2: Aggregate throughput with Buffer Sharing",
-        table2_flows(), curves, _METRIC_UTILIZATION, config, groups=CASE2_GROUPS,
+        table2_flows(), curves, _METRIC_UTILIZATION, config, groups=CASE2_GROUPS, runner=runner,
     )
 
 
-def figure12(fast: bool | None = None) -> FigureResult:
+def figure12(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Hybrid Case 2: loss for conformant and moderately conformant flows."""
     config = sweep_config(fast)
     curves = []
@@ -317,11 +354,11 @@ def figure12(fast: bool | None = None) -> FigureResult:
     return _sweep(
         "Figure 12",
         "Hybrid System, Case 2: Loss for conformant and moderately conformant flows",
-        table2_flows(), curves, _METRIC_LOSS, config, groups=CASE2_GROUPS,
+        table2_flows(), curves, _METRIC_LOSS, config, groups=CASE2_GROUPS, runner=runner,
     )
 
 
-def figure13(fast: bool | None = None) -> FigureResult:
+def figure13(fast: bool | None = None, runner: CampaignRunner | None = None) -> FigureResult:
     """Hybrid Case 2: aggregate throughput of the aggressive flows."""
     config = sweep_config(fast)
     curves = [
@@ -331,7 +368,7 @@ def figure13(fast: bool | None = None) -> FigureResult:
     return _sweep(
         "Figure 13",
         "Hybrid System, Case 2: Throughput for non-conformant flows with Buffer Sharing",
-        table2_flows(), curves, _METRIC_THROUGHPUT, config, groups=CASE2_GROUPS,
+        table2_flows(), curves, _METRIC_THROUGHPUT, config, groups=CASE2_GROUPS, runner=runner,
     )
 
 

@@ -27,7 +27,7 @@ from repro.traffic.profiles import FlowSpec
 from repro.traffic.shaper import LeakyBucketShaper
 from repro.traffic.sources import OnOffSource
 
-__all__ = ["ScenarioResult", "run_scenario", "run_replications"]
+__all__ = ["ScenarioResult", "ReplicationResult", "run_scenario", "run_replications"]
 
 
 @dataclass
@@ -95,6 +95,7 @@ def run_scenario(
     groups: Sequence[Sequence[int]] | None = None,
     packet_size: float = PACKET_SIZE,
     delay_histograms: bool = False,
+    max_events: int | None = None,
 ) -> ScenarioResult:
     """Simulate one scheme on one workload and return the measurements.
 
@@ -111,6 +112,9 @@ def run_scenario(
         packet_size: bytes per packet.
         delay_histograms: record per-flow delay percentiles (exposed via
             ``result.delay_percentile(flow_id, q)``).
+        max_events: optional event budget for this run; exceeding it
+            raises :class:`~repro.errors.SimulationError`.  Campaigns use
+            this as a per-job safety valve.
     """
     if sim_time <= 0:
         raise ConfigurationError(f"sim_time must be positive, got {sim_time}")
@@ -145,7 +149,7 @@ def run_scenario(
             until=sim_time,
         )
 
-    sim.run(until=sim_time)
+    sim.run(until=sim_time, max_events=max_events)
 
     result = ScenarioResult(
         scheme=scheme,
@@ -167,18 +171,56 @@ def run_scenario(
     return result
 
 
+@dataclass(frozen=True)
+class ReplicationResult(MeanCI):
+    """A :class:`~repro.metrics.stats.MeanCI` plus the per-seed samples.
+
+    Campaigns reuse the raw samples (e.g. for pooled statistics or
+    re-summarising at a different confidence level) without re-running
+    the simulations.
+    """
+
+    samples: tuple[float, ...] = ()
+
+
 def run_replications(
     flows: Sequence[FlowSpec],
     scheme: Scheme,
     buffer_size: float,
-    metric: Callable[[ScenarioResult], float],
+    metric: Callable[..., float],
     *,
     seeds: Sequence[int],
+    runner=None,
     **scenario_kwargs,
-) -> MeanCI:
-    """Repeat a scenario over seeds and summarise ``metric`` with a 95% CI."""
-    samples = [
-        metric(run_scenario(flows, scheme, buffer_size, seed=seed, **scenario_kwargs))
+) -> ReplicationResult:
+    """Repeat a scenario over seeds and summarise ``metric`` with a 95% CI.
+
+    A thin wrapper over a campaign batch: one
+    :class:`~repro.experiments.campaign.ScenarioJob` per seed, executed
+    by ``runner`` (a :class:`~repro.experiments.campaign.CampaignRunner`;
+    default serial, no cache).  ``metric`` receives the serializable
+    :class:`~repro.experiments.campaign.ScenarioRecord`, which exposes
+    the same measurement API as :class:`ScenarioResult`.
+    """
+    # Imported lazily: the campaign package's execute stage imports
+    # run_scenario from this module.
+    from repro.experiments.campaign import CampaignRunner, ScenarioJob
+
+    if not seeds:
+        raise ConfigurationError("run_replications needs at least one seed")
+    if runner is None:
+        runner = CampaignRunner()
+    jobs = [
+        ScenarioJob.for_scenario(
+            flows, scheme, buffer_size, seed=seed, **scenario_kwargs
+        )
         for seed in seeds
     ]
-    return mean_ci(samples)
+    samples = [metric(record) for record in runner.run(jobs)]
+    summary = mean_ci(samples)
+    return ReplicationResult(
+        mean=summary.mean,
+        halfwidth=summary.halfwidth,
+        n=summary.n,
+        samples=tuple(samples),
+    )

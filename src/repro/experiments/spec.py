@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import ConfigurationError
-from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.campaign import CampaignRunner, ScenarioJob
 from repro.experiments.schemes import DEFAULT_HEADROOM, Scheme
 from repro.experiments.workloads import (
     CASE1_GROUPS,
@@ -47,7 +47,7 @@ from repro.metrics.stats import MeanCI, mean_ci
 from repro.traffic.profiles import FlowSpec
 from repro.units import kbytes, mbps, mbytes
 
-__all__ = ["ScenarioSpec", "run_spec", "load_specs"]
+__all__ = ["ScenarioSpec", "run_spec", "jobs_for_spec", "load_specs"]
 
 _WORKLOADS = {"table1": table1_flows, "table2": table2_flows}
 _DEFAULT_GROUPS = {"table1": CASE1_GROUPS, "table2": CASE2_GROUPS}
@@ -185,23 +185,39 @@ def _parse_metric(metric: str, conformant_ids: Sequence[int]):
     )
 
 
-def run_spec(spec: ScenarioSpec) -> dict[str, MeanCI]:
-    """Execute a spec over its seeds; returns metric -> mean ± CI."""
-    extractors = [_parse_metric(metric, spec.conformant_ids) for metric in spec.metrics]
-    samples: dict[str, list[float]] = {metric: [] for metric in spec.metrics}
-    for seed in spec.seeds:
-        result: ScenarioResult = run_scenario(
-            spec.flows,
-            spec.scheme,
-            spec.buffer_bytes,
+def jobs_for_spec(spec: ScenarioSpec) -> list[ScenarioJob]:
+    """The campaign jobs behind a spec: one per seed."""
+    return [
+        ScenarioJob(
+            flows=spec.flows,
+            scheme=spec.scheme,
+            buffer_size=spec.buffer_bytes,
             link_rate=spec.link_rate,
             sim_time=spec.sim_time,
             seed=seed,
             headroom=spec.headroom,
             groups=spec.groups,
         )
+        for seed in spec.seeds
+    ]
+
+
+def run_spec(
+    spec: ScenarioSpec, runner: CampaignRunner | None = None
+) -> dict[str, MeanCI]:
+    """Execute a spec over its seeds; returns metric -> mean ± CI.
+
+    The seeds are submitted as one campaign batch through ``runner``
+    (default: serial, no cache), so spec execution shares the pipeline's
+    deduplication, caching, and parallel dispatch.
+    """
+    if runner is None:
+        runner = CampaignRunner()
+    extractors = [_parse_metric(metric, spec.conformant_ids) for metric in spec.metrics]
+    samples: dict[str, list[float]] = {metric: [] for metric in spec.metrics}
+    for record in runner.run(jobs_for_spec(spec)):
         for label, extractor in extractors:
-            samples[label].append(extractor(result))
+            samples[label].append(extractor(record))
     return {label: mean_ci(values) for label, values in samples.items()}
 
 

@@ -25,20 +25,29 @@ class Event:
 
     Returned by :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`;
     the only supported operation is :meth:`cancel`.  Cancelled events stay
-    in the heap but are skipped when popped (lazy deletion).
+    in the heap but are skipped when popped (lazy deletion); the simulator
+    purges them wholesale once they dominate the heap (see
+    :meth:`Simulator._compact`).
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self, time: float, fn: Callable[..., Any], args: tuple, sim: "Simulator | None" = None
+    ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing. Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
@@ -56,13 +65,19 @@ class Simulator:
         sim.run(until=10.0)
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_processed")
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_cancelled", "_compactions")
+
+    #: Smallest heap worth compacting; below this lazy deletion is cheaper
+    #: than a rebuild.
+    COMPACT_MIN_HEAP = 64
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        self._cancelled: int = 0
+        self._compactions: int = 0
 
     @property
     def events_processed(self) -> int:
@@ -74,6 +89,43 @@ class Simulator:
         """Number of events still in the heap, including cancelled ones."""
         return len(self._heap)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap was rebuilt to purge cancelled events."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`.
+
+        Cancel-heavy workloads (shapers, adaptive managers) would otherwise
+        grow the heap without bound: lazily-deleted events are only
+        reclaimed when their time is reached.  Once more than half of a
+        non-trivial heap is dead weight, rebuilding it is O(live) and wins
+        immediately.
+        """
+        self._cancelled += 1
+        heap_size = len(self._heap)
+        if heap_size >= self.COMPACT_MIN_HEAP and self._cancelled * 2 > heap_size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        The ``(time, seq)`` keys of live entries are untouched, so firing
+        order is exactly what lazy deletion would have produced.  The list
+        is rebuilt in place: ``run``/``step`` hold a local alias to it and
+        a cancel can arrive from a callback mid-loop.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
+
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         return self.schedule_at(self.now + delay, fn, *args)
@@ -84,7 +136,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time t={self.now}"
             )
-        event = Event(time, fn, args)
+        event = Event(time, fn, args, self)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, event))
         return event
@@ -98,6 +150,8 @@ class Simulator:
         while heap:
             time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
+                if self._cancelled:
+                    self._cancelled -= 1
                 continue
             self.now = time
             self._events_processed += 1
@@ -121,6 +175,8 @@ class Simulator:
             time, _seq, event = heap[0]
             if event.cancelled:
                 heapq.heappop(heap)
+                if self._cancelled:
+                    self._cancelled -= 1
                 continue
             if until is not None and time > until:
                 break

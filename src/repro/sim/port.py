@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.metrics.collector import StatsCollector
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
@@ -109,10 +109,18 @@ class OutputPort:
 
     def _finish_transmission(self, packet: Packet) -> None:
         now = self.sim.now
+        if packet.enqueued is None:
+            # Every serviced packet was admitted through receive(), which
+            # stamps `enqueued`; a missing timestamp means the packet
+            # bypassed admission and the delay accounting is meaningless.
+            raise SimulationError(
+                f"packet {packet!r} finished service without an enqueue "
+                "timestamp; it never passed through receive()"
+            )
         self.manager.on_depart(packet.flow_id, packet.size)
         self.transmitted_packets += 1
         if self.collector is not None:
-            delay = now - (packet.enqueued if packet.enqueued is not None else now)
+            delay = now - packet.enqueued
             self.collector.on_depart(packet.flow_id, packet.size, delay, now)
         if self.downstream is not None:
             self.downstream.receive(packet)

@@ -1,0 +1,137 @@
+"""CampaignRunner: ordering, deduplication, caching, parallel == serial."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import (
+    CampaignRunner,
+    ResultCache,
+    ScenarioJob,
+    execute_job,
+)
+from repro.experiments.schemes import Scheme
+from repro.experiments.workloads import table1_flows
+from repro.units import mbytes
+
+FLOWS = table1_flows()
+FAST = dict(sim_time=0.5, warmup=0.1)
+
+
+def sweep_jobs():
+    """A miniature Figure-1-style sweep: schemes x buffers x seeds."""
+    return [
+        ScenarioJob(
+            flows=FLOWS, scheme=scheme, buffer_size=buffer, seed=seed, **FAST
+        )
+        for scheme in (Scheme.FIFO_NONE, Scheme.FIFO_THRESHOLD)
+        for buffer in (mbytes(0.5), mbytes(1))
+        for seed in (1, 2)
+    ]
+
+
+def canonical(record):
+    return json.dumps(record.to_dict(), sort_keys=True)
+
+
+class TestSerialExecution:
+    def test_records_align_with_jobs(self):
+        jobs = sweep_jobs()
+        records = CampaignRunner().run(jobs)
+        assert len(records) == len(jobs)
+        for job, record in zip(jobs, records):
+            assert record.job_digest == job.digest()
+            assert record.scheme is job.scheme
+            assert record.seed == job.seed
+
+    def test_record_matches_direct_execution(self):
+        job = sweep_jobs()[0]
+        [record] = CampaignRunner().run([job])
+        assert canonical(record) == canonical(execute_job(job))
+
+    def test_duplicate_jobs_simulated_once(self):
+        job = sweep_jobs()[0]
+        runner = CampaignRunner()
+        records = runner.run([job, job, job])
+        assert records[0] is records[1] is records[2]
+        stats = runner.last_stats
+        assert stats.submitted == 3
+        assert stats.unique == 1
+        assert stats.executed == 1
+
+    def test_empty_batch(self):
+        runner = CampaignRunner()
+        assert runner.run([]) == []
+        assert runner.last_stats.submitted == 0
+
+
+class TestParallelExecution:
+    def test_workers_two_matches_serial_byte_for_byte(self):
+        jobs = sweep_jobs()
+        serial = CampaignRunner(workers=1).run(jobs)
+        parallel = CampaignRunner(workers=2).run(jobs)
+        assert [canonical(r) for r in serial] == [canonical(r) for r in parallel]
+
+    def test_chunked_dispatch_matches_too(self):
+        jobs = sweep_jobs()[:4]
+        serial = CampaignRunner().run(jobs)
+        chunked = CampaignRunner(workers=2, chunk_size=3).run(jobs)
+        assert [canonical(r) for r in serial] == [canonical(r) for r in chunked]
+
+    def test_records_survive_pickling(self):
+        # Records cross process boundaries; the round trip must be exact.
+        [record] = CampaignRunner().run(sweep_jobs()[:1])
+        clone = pickle.loads(pickle.dumps(record))
+        assert canonical(clone) == canonical(record)
+        assert clone == record
+
+
+class TestCaching:
+    def test_second_run_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = sweep_jobs()
+        runner = CampaignRunner(cache=cache)
+
+        cold = runner.run(jobs)
+        assert runner.last_stats.cache_hits == 0
+        assert runner.last_stats.executed == runner.last_stats.unique
+
+        warm = runner.run(jobs)
+        assert runner.last_stats.cache_hits == runner.last_stats.unique
+        assert runner.last_stats.executed == 0
+        assert runner.last_stats.hit_fraction == 1.0
+        assert [canonical(r) for r in warm] == [canonical(r) for r in cold]
+
+    def test_changed_input_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(cache=cache)
+        job = sweep_jobs()[0]
+        runner.run([job])
+
+        changed = ScenarioJob(
+            flows=job.flows, scheme=job.scheme,
+            buffer_size=job.buffer_size, seed=job.seed + 100, **FAST
+        )
+        runner.run([changed])
+        assert runner.last_stats.cache_hits == 0
+        assert runner.last_stats.executed == 1
+
+    def test_cache_shared_between_runners(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        jobs = sweep_jobs()[:2]
+        CampaignRunner(cache=ResultCache(cache_dir)).run(jobs)
+        second = CampaignRunner(cache=ResultCache(cache_dir))
+        second.run(jobs)
+        assert second.last_stats.cache_hits == 2
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(workers=0)
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(chunk_size=0)

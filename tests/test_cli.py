@@ -55,3 +55,55 @@ class TestCommands:
         assert main(["all", "--out", str(tmp_path)]) == 0
         archived = sorted(path.name for path in tmp_path.glob("figure*.txt"))
         assert len(archived) == 13
+
+    def test_figure_with_cache_dir_populates_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["figure1", "--cache-dir", str(cache_dir)]) == 0
+        assert len(list(cache_dir.glob("*.json"))) > 0
+
+
+class TestCampaignCommands:
+    def test_status_on_empty_cache(self, tmp_path, capsys):
+        assert main(["campaign", "status", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries         : 0" in out
+        assert "repro-campaign-v1" in out
+
+    def test_status_counts_entries(self, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        main(["figure1", "--cache-dir", str(cache_dir)])
+        assert main(["campaign", "status", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries         : 0" not in out
+
+    def test_clear_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        main(["figure1", "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        assert main(["campaign", "clear-cache", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert list(cache_dir.glob("*.json")) == []
+
+    def test_unknown_action_rejected(self, capsys):
+        assert main(["campaign", "flush"]) == 2
+        assert "unknown campaign action" in capsys.readouterr().err
+
+    def test_run_requires_spec(self, capsys):
+        assert main(["campaign", "run"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_run_executes_spec_with_cache(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"name": "tiny", "workload": "table1", "scheme": "FIFO_NONE",'
+            ' "buffer_mb": 0.5, "sim_time": 0.5, "seeds": [1, 2],'
+            ' "metrics": ["utilization"]}'
+        )
+        cache_dir = tmp_path / "c"
+        argv = ["campaign", "run", "--spec", str(spec), "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "tiny" in cold and "0 cached" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "2 cached" in warm and "0 executed" in warm

@@ -136,6 +136,69 @@ class TestCancellation:
         assert sim.events_processed == 1
 
 
+class TestHeapCompaction:
+    """Cancel-heavy workloads must not grow the heap without bound."""
+
+    def test_mass_cancellation_shrinks_heap(self):
+        # Regression: before compaction, 10k cancelled events with far-off
+        # deadlines would sit in the heap until their time was reached.
+        sim = Simulator()
+        keeper = sim.schedule(1e9, lambda: None)
+        events = [sim.schedule(1e6 + i, lambda: None) for i in range(10_000)]
+        for event in events:
+            event.cancel()
+        assert sim.pending < 100
+        assert sim.compactions > 0
+        assert not keeper.cancelled
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        order = []
+        doomed = []
+        for i in range(150):
+            sim.schedule(float(2 * i), order.append, i)
+            doomed.append(sim.schedule(float(2 * i + 1), order.append, -i))
+        # Two doomed cohorts so cancellations clearly exceed half the heap.
+        doomed.extend(sim.schedule(1000.0 + i, order.append, -i) for i in range(150))
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions > 0
+        sim.run()
+        assert order == list(range(150))
+
+    def test_small_heaps_skip_compaction(self):
+        # Below COMPACT_MIN_HEAP lazy deletion is cheaper than a rebuild.
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None).cancel()
+        assert sim.compactions == 0
+        assert sim.cancelled_pending == 10
+
+    def test_pop_of_cancelled_event_rebalances_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.cancelled_pending == 0
+
+    def test_cancel_during_run_is_safe(self):
+        # A callback cancelling enough events to trigger a compaction must
+        # not desynchronise the loop's view of the heap.
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(10.0 + i, fired.append, -i) for i in range(100)]
+
+        def cancel_all():
+            for event in doomed:
+                event.cancel()
+
+        sim.schedule(1.0, cancel_all)
+        sim.schedule(2.0, fired.append, "survivor")
+        sim.run()
+        assert fired == ["survivor"]
+        assert sim.compactions > 0
+
+
 class TestStep:
     def test_step_fires_one_event(self):
         sim = Simulator()

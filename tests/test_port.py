@@ -89,6 +89,29 @@ class TestAdmission:
         assert not port.busy
 
 
+class TestAccountingIntegrity:
+    def test_unstamped_packet_raises_instead_of_zero_delay(self):
+        # A packet reaching the link without an `enqueued` timestamp used
+        # to be recorded silently with delay `now - None`-turned-zero
+        # semantics; it must fail loudly instead.
+        from repro.errors import SimulationError
+
+        sim, port, _ = make_port()
+        rogue = Packet(0, 500.0, 0.0)
+        port.busy = True  # pretend the link grabbed it directly
+        sim.schedule(0.5, port._finish_transmission, rogue)
+        with pytest.raises(SimulationError, match="enqueue"):
+            sim.run()
+
+    def test_admitted_packets_are_always_stamped(self):
+        sim, port, _ = make_port()
+        packet = Packet(0, 500.0, 0.0)
+        assert packet.enqueued is None
+        port.receive(packet)
+        assert packet.enqueued == pytest.approx(sim.now)
+        sim.run()  # and servicing it does not raise
+
+
 class TestValidation:
     def test_non_positive_rate_rejected(self):
         sim = Simulator()

@@ -150,3 +150,33 @@ class TestReplications:
             seeds=[1], **FAST,
         )
         assert result.halfwidth == 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_replications(
+                FLOWS, Scheme.FIFO_NONE, mbytes(1),
+                metric=lambda r: r.utilization(),
+                seeds=[], **FAST,
+            )
+
+    def test_per_seed_samples_returned(self):
+        result = run_replications(
+            FLOWS, Scheme.FIFO_NONE, mbytes(1),
+            metric=lambda r: r.utilization(),
+            seeds=[1, 2, 3], **FAST,
+        )
+        assert len(result.samples) == 3
+        assert result.mean == pytest.approx(sum(result.samples) / 3)
+
+    def test_samples_follow_seed_order(self):
+        seeds = [5, 1, 9]
+        result = run_replications(
+            FLOWS, Scheme.FIFO_NONE, mbytes(1),
+            metric=lambda r: r.utilization(),
+            seeds=seeds, **FAST,
+        )
+        singles = [
+            run_scenario(FLOWS, Scheme.FIFO_NONE, mbytes(1), seed=s, **FAST).utilization()
+            for s in seeds
+        ]
+        assert list(result.samples) == pytest.approx(singles)
