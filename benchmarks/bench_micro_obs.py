@@ -1,0 +1,98 @@
+"""Micro-benchmarks: tracing overhead on the simulation hot path.
+
+The observability contract is "zero-cost when disabled": components
+guard every emission behind one ``if self._sink is not None`` check, so
+a run without a sink must stay within noise (budget: 3%) of the same
+run built before tracing existed.  These benchmarks measure that —
+a port-level packet loop with tracing off, with a RingSink, and with a
+JsonlSink — so the guard's cost is tracked in CI rather than assumed.
+
+The committed numbers live in ``results/micro_obs.txt``.
+"""
+
+from repro.core.fixed_threshold import FixedThresholdManager
+from repro.obs.sink import JsonlSink, RingSink
+from repro.sched.fifo import FIFOScheduler
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.port import OutputPort
+
+
+def _build_port(sink=None):
+    sim = Simulator()
+    manager = FixedThresholdManager(
+        capacity=50_000.0, thresholds={}, default_threshold=10_000.0
+    )
+    port = OutputPort(sim, 1e6, FIFOScheduler(), manager)
+    if sink is not None:
+        port.attach_trace(sink)
+    return sim, port
+
+
+def _drive_port(sim, port, n_packets: int) -> int:
+    """Feed packets faster than the link drains them; count arrivals."""
+    interarrival = 0.0004  # 500 B / 1 MB/s = 0.5 ms service: overload
+    state = {"sent": 0}
+
+    def arrival():
+        port.receive(Packet(flow_id=state["sent"] % 8, size=500.0, created=sim.now))
+        state["sent"] += 1
+        if state["sent"] < n_packets:
+            sim.schedule(interarrival, arrival)
+
+    sim.schedule(0.0, arrival)
+    sim.run()
+    return state["sent"]
+
+
+def test_port_no_sink(benchmark):
+    """Baseline: tracing disabled (the null-sink fast path)."""
+
+    def run() -> int:
+        sim, port = _build_port()
+        return _drive_port(sim, port, 10_000)
+
+    assert benchmark(run) == 10_000
+
+
+def test_port_ring_sink(benchmark):
+    """Tracing into a bounded in-memory ring."""
+
+    def run() -> int:
+        sim, port = _build_port(RingSink(capacity=4096))
+        return _drive_port(sim, port, 10_000)
+
+    assert benchmark(run) == 10_000
+
+
+def test_port_jsonl_sink(benchmark, tmp_path):
+    """Tracing into a streaming JSONL file (serialization + I/O)."""
+
+    def run() -> int:
+        with JsonlSink(tmp_path / "bench-trace.jsonl") as sink:
+            sim, port = _build_port(sink)
+            return _drive_port(sim, port, 10_000)
+
+    assert benchmark(run) == 10_000
+
+
+def test_engine_event_chain_with_guard(benchmark):
+    """The bench_micro_engine event chain, re-run under the obs build.
+
+    Comparing this against the pre-obs ``bench_micro_engine`` numbers is
+    the <= 3% regression check: the engine loop itself carries no guard,
+    so any slowdown would come from module-level changes.
+    """
+
+    def run() -> int:
+        sim = Simulator()
+
+        def hop():
+            if sim.events_processed < 20_000:
+                sim.schedule(0.001, hop)
+
+        sim.schedule(0.0, hop)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) >= 20_000

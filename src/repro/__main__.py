@@ -11,11 +11,16 @@ Usage::
     python -m repro campaign run --spec spec.json --workers 4
     python -m repro campaign status     # cache location, entries, size
     python -m repro campaign clear-cache
+
+    python -m repro obs trace --spec spec.json --trace-out trace.jsonl
+    python -m repro obs trace --input trace.jsonl --flow 3 --type drop
+    python -m repro obs report          # summarize results/telemetry
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
@@ -38,15 +43,17 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help=(
             "figure to run (figure1..figure13), 'all', 'list', 'run' "
-            "with --spec for declarative scenarios, or 'campaign' with "
-            "an action (run/status/clear-cache)"
+            "with --spec for declarative scenarios, 'campaign' with an "
+            "action (run/status/clear-cache), or 'obs' with an action "
+            "(trace/report)"
         ),
     )
     parser.add_argument(
         "action",
         nargs="?",
         default=None,
-        help="campaign action: run, status, or clear-cache",
+        help="campaign action (run, status, clear-cache) or obs action "
+        "(trace, report)",
     )
     parser.add_argument(
         "--spec",
@@ -79,6 +86,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result cache directory (default: no cache "
         "for figures, results/cache for campaign actions; REPRO_CACHE "
         "also enables it)",
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        type=pathlib.Path,
+        default=None,
+        help="run-telemetry directory (default: results/telemetry for "
+        "'campaign run' and 'obs report'; REPRO_TELEMETRY also enables it)",
+    )
+    parser.add_argument(
+        "--input",
+        type=pathlib.Path,
+        default=None,
+        help="existing JSONL trace to read ('obs trace')",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        help="where 'obs trace --spec' writes the JSONL event stream "
+        "(default: results/trace.jsonl)",
+    )
+    parser.add_argument(
+        "--flow",
+        type=int,
+        action="append",
+        default=None,
+        help="restrict 'obs trace' output to this flow id (repeatable)",
+    )
+    parser.add_argument(
+        "--type",
+        action="append",
+        default=None,
+        dest="event_type",
+        help="restrict 'obs trace' output to this event kind, e.g. "
+        "enqueue, drop, depart (repeatable)",
+    )
+    parser.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        help="drop trace events before this simulation time",
+    )
+    parser.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        help="drop trace events after this simulation time",
     )
     return parser
 
@@ -129,6 +183,12 @@ def _campaign_cache(args: argparse.Namespace) -> ResultCache:
     return ResultCache(args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR)
 
 
+def _telemetry_dir(args: argparse.Namespace) -> pathlib.Path:
+    from repro.obs.telemetry import DEFAULT_TELEMETRY_DIR
+
+    return args.telemetry_dir if args.telemetry_dir is not None else DEFAULT_TELEMETRY_DIR
+
+
 def run_campaign(args: argparse.Namespace) -> int:
     from repro import units
 
@@ -137,17 +197,24 @@ def run_campaign(args: argparse.Namespace) -> int:
             print("'campaign run' requires --spec <file.json>", file=sys.stderr)
             return 2
         runner = CampaignRunner(
-            workers=args.workers or 1, cache=_campaign_cache(args)
+            workers=args.workers or 1,
+            cache=_campaign_cache(args),
+            telemetry_dir=_telemetry_dir(args),
         )
         run_spec_file(args.spec, runner=runner)
         return 0
     if args.action == "status":
         cache = _campaign_cache(args)
         entries = cache.entries()
+        stats = cache.persisted_stats()
         print(f"cache directory : {cache.root}")
         print(f"schema tag      : {CAMPAIGN_SCHEMA}")
         print(f"entries         : {len(entries)}")
         print(f"size            : {units.to_mbytes(cache.size_bytes()):.3f} MB")
+        print(f"cached bytes    : {cache.size_bytes()}")
+        print(f"lifetime hits   : {stats['hits']}")
+        print(f"lifetime misses : {stats['misses']}")
+        print(f"lifetime stores : {stats['stores']}")
         return 0
     if args.action == "clear-cache":
         cache = _campaign_cache(args)
@@ -161,10 +228,84 @@ def run_campaign(args: argparse.Namespace) -> int:
     return 2
 
 
+def _trace_spec_scenario(spec_path: pathlib.Path, out: pathlib.Path) -> None:
+    """Run the first scenario of a spec with a JSONL sink attached."""
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.spec import jobs_for_spec, load_specs
+    from repro.obs import JsonlSink
+
+    spec = load_specs(spec_path)[0]
+    job = jobs_for_spec(spec)[0]
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with JsonlSink(out) as sink:
+        run_scenario(
+            job.flows, job.scheme, job.buffer_size, sink=sink, **job.scenario_kwargs()
+        )
+
+
+def run_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import event_to_dict, filter_events, read_events
+    from repro.obs.telemetry import CampaignReport, read_telemetry_dir
+
+    if args.action == "trace":
+        if (args.input is None) == (args.spec is None):
+            print(
+                "'obs trace' needs exactly one of --input <trace.jsonl> "
+                "or --spec <file.json>",
+                file=sys.stderr,
+            )
+            return 2
+        if args.input is not None:
+            trace_path = args.input
+        else:
+            trace_path = (
+                args.trace_out
+                if args.trace_out is not None
+                else pathlib.Path("results") / "trace.jsonl"
+            )
+            _trace_spec_scenario(args.spec, trace_path)
+            print(f"# trace written to {trace_path}", file=sys.stderr)
+        events = filter_events(
+            read_events(trace_path),
+            flows=args.flow,
+            kinds=args.event_type,
+            since=args.since,
+            until=args.until,
+        )
+        try:
+            for event in events:
+                print(json.dumps(event_to_dict(event)))
+            sys.stdout.flush()
+        except BrokenPipeError:
+            # Downstream consumer (head, jq -n, ...) closed the pipe:
+            # normal for a line-dump tool, not an error.  Re-point stdout
+            # at devnull so interpreter shutdown doesn't re-raise.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    if args.action == "report":
+        directory = _telemetry_dir(args)
+        entries = read_telemetry_dir(directory)
+        print(f"telemetry dir   : {directory}")
+        if not entries:
+            print("no telemetry found; run a campaign first")
+            return 0
+        print(CampaignReport.from_telemetry(entries).render())
+        return 0
+    print(
+        f"unknown obs action {args.action!r}; use trace or report",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.target == "campaign":
         return run_campaign(args)
+    if args.target == "obs":
+        return run_obs(args)
     if args.target == "run":
         if args.spec is None:
             print("the 'run' target requires --spec <file.json>", file=sys.stderr)

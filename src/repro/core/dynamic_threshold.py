@@ -33,6 +33,8 @@ class DynamicThresholdManager(BufferManager):
 
     __slots__ = ("alpha",)
 
+    DROP_REASON = "dynamic-threshold"
+
     def __init__(self, capacity: float, alpha: float = 1.0) -> None:
         super().__init__(capacity)
         if alpha <= 0:
@@ -42,6 +44,11 @@ class DynamicThresholdManager(BufferManager):
     def current_threshold(self) -> float:
         """The shared dynamic threshold ``alpha * (B - Q(t))``."""
         return self.alpha * (self.capacity - self._total)
+
+    def _reference_threshold(self, flow_id: int) -> float | None:
+        # The shared threshold moves with total occupancy; crossings are
+        # traced against its value at the moment of the transition.
+        return self.current_threshold()
 
     def _admits(self, flow_id: int, size: float) -> bool:
         if self._total + size > self.capacity:

@@ -34,6 +34,8 @@ class FixedThresholdManager(BufferManager):
 
     __slots__ = ("thresholds", "default_threshold")
 
+    DROP_REASON = "threshold"
+
     def __init__(
         self,
         capacity: float,
@@ -56,6 +58,9 @@ class FixedThresholdManager(BufferManager):
     def threshold(self, flow_id: int) -> float:
         """Occupancy threshold applied to ``flow_id``."""
         return self.thresholds.get(flow_id, self.default_threshold)
+
+    def _reference_threshold(self, flow_id: int) -> float | None:
+        return self.threshold(flow_id)
 
     def _admits(self, flow_id: int, size: float) -> bool:
         if self._total + size > self.capacity:

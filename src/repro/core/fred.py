@@ -34,6 +34,8 @@ class FREDManager(REDManager):
         (remaining arguments as for :class:`REDManager`)
     """
 
+    DROP_REASON = "fred"
+
     __slots__ = ("minq", "maxq", "_strikes")
 
     def __init__(

@@ -52,6 +52,20 @@ class HybridBufferManager:
             raise ConfigurationError(f"flow {flow_id} not assigned to any class")
         return self.managers[class_id]
 
+    def attach_trace(self, sink, clock) -> None:
+        """Propagate the trace sink to every class sub-manager."""
+        for manager in self.managers:
+            manager.attach_trace(sink, clock)
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Register each class partition under a ``class`` label."""
+        for class_id, manager in enumerate(self.managers):
+            manager.register_metrics(registry, **labels, **{"class": class_id})
+
+    def drop_reason(self, flow_id: int, size: float) -> str:
+        """Classification comes from the class manager that rejected."""
+        return self._manager_for(flow_id).drop_reason(flow_id, size)
+
     def try_admit(self, flow_id: int, size: float) -> bool:
         """Admission is decided entirely by the flow's class manager."""
         return self._manager_for(flow_id).try_admit(flow_id, size)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.events import ThresholdCrossEvent
 
 __all__ = ["BufferManager"]
 
@@ -34,7 +35,11 @@ class BufferManager(ABC):
         capacity: total buffer size ``B`` in bytes.  Must be positive.
     """
 
-    __slots__ = ("capacity", "_occupancy", "_total")
+    __slots__ = ("capacity", "_occupancy", "_total", "_sink", "_clock")
+
+    #: How :meth:`drop_reason` labels policy (non-capacity) rejections;
+    #: subclasses override with their mechanism name.
+    DROP_REASON = "policy"
 
     def __init__(self, capacity: float):
         if capacity <= 0:
@@ -42,6 +47,8 @@ class BufferManager(ABC):
         self.capacity = float(capacity)
         self._occupancy: dict[int, float] = {}
         self._total = 0.0
+        self._sink = None
+        self._clock = None
 
     @property
     def total_occupancy(self) -> float:
@@ -57,6 +64,90 @@ class BufferManager(ABC):
         """Bytes currently buffered for ``flow_id``."""
         return self._occupancy.get(flow_id, 0.0)
 
+    # -- observability ---------------------------------------------------
+
+    def attach_trace(self, sink, clock) -> None:
+        """Emit threshold-cross (and subclass) events into ``sink``.
+
+        Args:
+            sink: a :class:`~repro.obs.sink.TraceSink`, or ``None`` to
+                detach.
+            clock: zero-argument callable returning simulation time
+                (managers have no engine reference of their own).
+        """
+        if sink is not None and clock is None:
+            raise ConfigurationError("attach_trace needs a clock with its sink")
+        self._sink = sink
+        self._clock = clock
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Expose occupancy accounting through a metrics registry."""
+        registry.gauge_callback(
+            "buffer.total_occupancy", lambda: self._total, **labels
+        )
+        registry.gauge_callback(
+            "buffer.free_space", lambda: self.capacity - self._total, **labels
+        )
+        registry.gauge_callback(
+            "buffer.active_flows",
+            lambda: sum(1 for value in self._occupancy.values() if value > 0),
+            **labels,
+        )
+
+    def drop_reason(self, flow_id: int, size: float) -> str:
+        """Classify the rejection :meth:`try_admit` just returned.
+
+        Called by the port only on the traced drop path, never during
+        admission itself.  The default distinguishes a genuinely full
+        buffer from the policy's own predicate; subclasses set
+        :attr:`DROP_REASON` (or override) to name their mechanism.
+        """
+        if self._total + size > self.capacity:
+            return "buffer-full"
+        return self.DROP_REASON
+
+    def _reference_threshold(self, flow_id: int) -> float | None:
+        """The admission threshold traced for ``flow_id``, if any.
+
+        ``None`` (the default) means the policy has no per-flow threshold
+        to cross, so no :class:`ThresholdCrossEvent` is ever emitted.
+        """
+        return None
+
+    def _trace_occupancy_step(self, flow_id: int, before: float, after: float) -> None:
+        """Emit a ThresholdCrossEvent when [before, after] straddles T.
+
+        "Up" means the flow *reached or exceeded* its threshold
+        (``before < T <= after``) — admission caps occupancy at exactly
+        ``T``, so a strict-exceed predicate would never fire.  "Down"
+        mirrors it: the flow fell back below ``T``.
+        """
+        threshold = self._reference_threshold(flow_id)
+        if threshold is None:
+            return
+        if before < threshold <= after:
+            self._sink.emit(
+                ThresholdCrossEvent(
+                    time=self._clock(),
+                    flow_id=flow_id,
+                    occupancy=after,
+                    threshold=threshold,
+                    direction="up",
+                )
+            )
+        elif after < threshold <= before:
+            self._sink.emit(
+                ThresholdCrossEvent(
+                    time=self._clock(),
+                    flow_id=flow_id,
+                    occupancy=after,
+                    threshold=threshold,
+                    direction="down",
+                )
+            )
+
+    # -- admission contract ----------------------------------------------
+
     def try_admit(self, flow_id: int, size: float) -> bool:
         """Admit the packet if the policy allows it; charge occupancy."""
         if size <= 0:
@@ -64,6 +155,9 @@ class BufferManager(ABC):
         if not self._admits(flow_id, size):
             return False
         self._charge(flow_id, size)
+        if self._sink is not None:
+            after = self._occupancy.get(flow_id, 0.0)
+            self._trace_occupancy_step(flow_id, after - size, after)
         return True
 
     def on_depart(self, flow_id: int, size: float) -> None:
@@ -77,6 +171,9 @@ class BufferManager(ABC):
         self._occupancy[flow_id] = max(occupancy, 0.0)
         self._total = max(self._total - size, 0.0)
         self._on_release(flow_id, size)
+        if self._sink is not None:
+            after = max(occupancy, 0.0)
+            self._trace_occupancy_step(flow_id, after + size, after)
 
     def _charge(self, flow_id: int, size: float) -> None:
         new_total = self._total + size

@@ -42,6 +42,8 @@ class REDManager(BufferManager):
             idle-decay rule.
     """
 
+    DROP_REASON = "red"
+
     __slots__ = (
         "min_th",
         "max_th",

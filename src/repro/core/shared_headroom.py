@@ -38,6 +38,7 @@ from typing import Mapping
 
 from repro.core.occupancy import BufferManager
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.events import HeadroomEvent
 
 __all__ = ["SharedHeadroomManager"]
 
@@ -55,6 +56,8 @@ class SharedHeadroomManager(BufferManager):
     """
 
     __slots__ = ("thresholds", "default_threshold", "headroom_cap", "headroom", "holes")
+
+    DROP_REASON = "shared-buffer"
 
     def __init__(
         self,
@@ -81,6 +84,19 @@ class SharedHeadroomManager(BufferManager):
         """Reserved threshold applied to ``flow_id``."""
         return self.thresholds.get(flow_id, self.default_threshold)
 
+    def _reference_threshold(self, flow_id: int) -> float | None:
+        return self.threshold(flow_id)
+
+    def register_metrics(self, registry, **labels) -> None:
+        super().register_metrics(registry, **labels)
+        registry.gauge_callback("buffer.headroom", lambda: self.headroom, **labels)
+        registry.gauge_callback("buffer.holes", lambda: self.holes, **labels)
+
+    def _trace_headroom(self) -> None:
+        self._sink.emit(
+            HeadroomEvent(time=self._clock(), headroom=self.headroom, holes=self.holes)
+        )
+
     def _within_reservation(self, flow_id: int, size: float) -> bool:
         return self.occupancy(flow_id) + size <= self.threshold(flow_id)
 
@@ -103,6 +119,8 @@ class SharedHeadroomManager(BufferManager):
         else:
             self.holes -= size
         self._check_counters()
+        if self._sink is not None:
+            self._trace_headroom()
 
     def _on_release(self, flow_id: int, size: float) -> None:
         self.headroom += size
@@ -110,6 +128,8 @@ class SharedHeadroomManager(BufferManager):
             self.holes += self.headroom - self.headroom_cap
             self.headroom = self.headroom_cap
         self._check_counters()
+        if self._sink is not None:
+            self._trace_headroom()
 
     def _check_counters(self) -> None:
         if self.holes < -1e-6 or self.headroom < -1e-6:

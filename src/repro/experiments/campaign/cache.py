@@ -26,6 +26,11 @@ __all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
 #: ``results/`` next to the rendered figures it accelerates).
 DEFAULT_CACHE_DIR = pathlib.Path("results") / "cache"
 
+#: Name of the persisted hit/miss counters file.  Deliberately not a
+#: ``.json`` name: :meth:`ResultCache.entries` globs ``*.json`` and the
+#: stats file must never be mistaken for a cache entry.
+_STATS_NAME = "stats.meta"
+
 
 class ResultCache:
     """Digest-keyed store of :class:`ScenarioRecord` JSON files.
@@ -86,6 +91,50 @@ class ResultCache:
     def __contains__(self, digest: str) -> bool:
         return self.path(digest).is_file()
 
+    # -- persisted accounting ----------------------------------------------
+
+    @property
+    def stats_path(self) -> pathlib.Path:
+        """Where the cumulative hit/miss counters are persisted."""
+        return self.root / _STATS_NAME
+
+    def persisted_stats(self) -> dict:
+        """Cumulative counters from earlier runs (zeros when absent).
+
+        Like entry lookups, an unreadable or corrupt stats file is a
+        non-event — the counters simply restart from zero.
+        """
+        try:
+            raw = json.loads(self.stats_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            raw = {}
+        if not isinstance(raw, dict):
+            raw = {}
+        return {
+            key: int(raw.get(key, 0) or 0)
+            for key in ("hits", "misses", "stores")
+        }
+
+    def persist_stats(self) -> dict:
+        """Fold this instance's counters into the on-disk totals.
+
+        The in-memory counters are reset afterwards, so calling this
+        after every batch accumulates exactly once per lookup.  Returns
+        the updated cumulative counters.
+        """
+        totals = self.persisted_stats()
+        totals["hits"] += self.hits
+        totals["misses"] += self.misses
+        totals["stores"] += self.stores
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.stats_path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(totals, sort_keys=True) + "\n", encoding="utf-8")
+        os.replace(tmp, self.stats_path)
+        return totals
+
     def entries(self) -> list[pathlib.Path]:
         """All entry files, sorted by name (i.e. by digest)."""
         if not self.root.is_dir():
@@ -97,7 +146,8 @@ class ResultCache:
         return sum(path.stat().st_size for path in self.entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and the persisted counters); returns how
+        many entries were removed."""
         removed = 0
         for path in self.entries():
             try:
@@ -105,4 +155,8 @@ class ResultCache:
                 removed += 1
             except OSError:
                 continue
+        try:
+            self.stats_path.unlink()
+        except OSError:
+            pass
         return removed

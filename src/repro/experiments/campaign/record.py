@@ -24,6 +24,7 @@ from repro.metrics.records import (
     flow_stats_from_dict,
     flow_stats_to_dict,
 )
+from repro.obs.telemetry import JobTelemetry
 
 if TYPE_CHECKING:  # circular at runtime: runner builds records
     from repro.experiments.runner import ScenarioResult
@@ -54,6 +55,11 @@ class ScenarioRecord:
     queue_rates: tuple[float, ...] | None = None
     queue_buffers: tuple[float, ...] | None = None
     delays: dict[int, DelaySummary] = field(default_factory=dict)
+    #: Execution telemetry, attached by the campaign runner.  Excluded
+    #: from equality and from :meth:`to_dict`: telemetry describes *how*
+    #: a record was produced, not *what* was measured, so cached, serial
+    #: and parallel runs stay byte-identical.
+    telemetry: JobTelemetry | None = field(default=None, compare=False)
 
     # -- construction -----------------------------------------------------
 

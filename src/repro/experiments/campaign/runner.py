@@ -19,6 +19,9 @@ campaigns cheap at figure scale:
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
@@ -27,7 +30,17 @@ from repro.errors import ConfigurationError
 from repro.experiments.campaign.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.campaign.job import ScenarioJob
 from repro.experiments.campaign.record import ScenarioRecord
-from repro.experiments.config import campaign_cache_setting, campaign_workers
+from repro.experiments.config import (
+    campaign_cache_setting,
+    campaign_telemetry_setting,
+    campaign_workers,
+)
+from repro.obs.telemetry import (
+    DEFAULT_TELEMETRY_DIR,
+    CampaignReport,
+    JobTelemetry,
+    write_telemetry,
+)
 
 __all__ = ["CampaignRunner", "CampaignStats", "default_runner", "execute_job"]
 
@@ -36,17 +49,34 @@ def execute_job(job: ScenarioJob) -> ScenarioRecord:
     """Run one job to completion and return its measurement record.
 
     Module-level (not a method) so a ``ProcessPoolExecutor`` can pickle
-    it by reference into worker processes.
+    it by reference into worker processes.  The returned record carries a
+    :class:`~repro.obs.telemetry.JobTelemetry` stamped with this
+    process's id, so pool runs attribute wall time to the worker that
+    actually simulated the job.
     """
     # Imported here, not at module top: repro.experiments.runner imports
     # this package lazily for run_replications, and a top-level import in
     # both directions would be circular.
     from repro.experiments.runner import run_scenario
 
+    # repro: noqa RPR101 — telemetry measures real wall time, never sim state
+    start = time.perf_counter()
     result = run_scenario(
         job.flows, job.scheme, job.buffer_size, **job.scenario_kwargs()
     )
-    return ScenarioRecord.from_result(result, job.digest())
+    # repro: noqa RPR101 — telemetry measures real wall time, never sim state
+    wall = time.perf_counter() - start
+    record = ScenarioRecord.from_result(result, job.digest())
+    return dataclasses.replace(
+        record,
+        telemetry=JobTelemetry(
+            job_digest=record.job_digest,
+            wall_time=wall,
+            events=record.events_processed,
+            cache_hit=False,
+            worker=os.getpid(),
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -76,15 +106,26 @@ class CampaignRunner:
         chunk_size: jobs per pool dispatch; defaults to a size that gives
             each worker several chunks (dynamic load balancing without
             per-job dispatch overhead).
+        telemetry_dir: when given, each :meth:`run` writes its batch
+            telemetry as JSONL under this directory (one line per unique
+            job; see :mod:`repro.obs.telemetry`).
     """
 
-    __slots__ = ("workers", "cache", "chunk_size", "last_stats")
+    __slots__ = (
+        "workers",
+        "cache",
+        "chunk_size",
+        "telemetry_dir",
+        "last_stats",
+        "last_report",
+    )
 
     def __init__(
         self,
         workers: int = 1,
         cache: ResultCache | None = None,
         chunk_size: int | None = None,
+        telemetry_dir=None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -93,7 +134,9 @@ class CampaignRunner:
         self.workers = workers
         self.cache = cache
         self.chunk_size = chunk_size
+        self.telemetry_dir = telemetry_dir
         self.last_stats: CampaignStats | None = None
+        self.last_report: CampaignReport | None = None
 
     def run(self, jobs: Sequence[ScenarioJob]) -> list[ScenarioRecord]:
         """Execute a batch; returns records aligned with ``jobs``.
@@ -109,9 +152,22 @@ class CampaignRunner:
         records: dict[str, ScenarioRecord] = {}
         if self.cache is not None:
             for digest in unique:
+                # repro: noqa RPR101 — telemetry measures real wall time
+                start = time.perf_counter()
                 cached = self.cache.get(digest)
                 if cached is not None:
-                    records[digest] = cached
+                    # repro: noqa RPR101 — telemetry measures real wall time
+                    lookup = time.perf_counter() - start
+                    records[digest] = dataclasses.replace(
+                        cached,
+                        telemetry=JobTelemetry(
+                            job_digest=digest,
+                            wall_time=lookup,
+                            events=cached.events_processed,
+                            cache_hit=True,
+                            worker=os.getpid(),
+                        ),
+                    )
         cache_hits = len(records)
 
         pending = [
@@ -130,6 +186,16 @@ class CampaignRunner:
             cache_hits=cache_hits,
             executed=len(pending),
         )
+        entries = [
+            records[digest].telemetry
+            for digest in unique
+            if records[digest].telemetry is not None
+        ]
+        self.last_report = CampaignReport.from_telemetry(entries)
+        if self.telemetry_dir is not None and entries:
+            write_telemetry(self.telemetry_dir, entries)
+        if self.cache is not None:
+            self.cache.persist_stats()
         return [records[digest] for digest in digests]
 
     def _execute(self, jobs: list[ScenarioJob]) -> list[ScenarioRecord]:
@@ -149,10 +215,12 @@ class CampaignRunner:
 def default_runner() -> CampaignRunner:
     """The environment-configured runner used by the figure sweeps.
 
-    ``REPRO_WORKERS`` sets the process count (default 1, i.e. serial) and
+    ``REPRO_WORKERS`` sets the process count (default 1, i.e. serial),
     ``REPRO_CACHE`` enables the on-disk cache (``1`` for the default
     ``results/cache`` location, any other non-empty value is used as the
-    cache directory; unset/``0`` disables caching).
+    cache directory; unset/``0`` disables caching), and
+    ``REPRO_TELEMETRY`` enables run telemetry the same way (``1`` for
+    ``results/telemetry``, any other non-empty value is a directory).
     """
     setting = campaign_cache_setting()
     if setting is None:
@@ -161,4 +229,13 @@ def default_runner() -> CampaignRunner:
         cache = ResultCache(DEFAULT_CACHE_DIR)
     else:
         cache = ResultCache(setting)
-    return CampaignRunner(workers=campaign_workers(), cache=cache)
+    telemetry_setting = campaign_telemetry_setting()
+    if telemetry_setting is None:
+        telemetry_dir = None
+    elif telemetry_setting in ("1", "true", "yes"):
+        telemetry_dir = DEFAULT_TELEMETRY_DIR
+    else:
+        telemetry_dir = telemetry_setting
+    return CampaignRunner(
+        workers=campaign_workers(), cache=cache, telemetry_dir=telemetry_dir
+    )

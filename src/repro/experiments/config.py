@@ -20,6 +20,7 @@ __all__ = [
     "full_mode_enabled",
     "campaign_workers",
     "campaign_cache_setting",
+    "campaign_telemetry_setting",
 ]
 
 
@@ -49,6 +50,19 @@ def campaign_cache_setting() -> str | None:
     :func:`repro.experiments.campaign.default_runner`.
     """
     raw = os.environ.get("REPRO_CACHE", "").strip()
+    if raw in ("", "0", "false", "no"):
+        return None
+    return raw
+
+
+def campaign_telemetry_setting() -> str | None:
+    """The raw ``REPRO_TELEMETRY`` setting, or ``None`` when disabled.
+
+    ``1``/``true``/``yes`` request the default telemetry location
+    (``results/telemetry``); any other non-empty value is a directory
+    path.  ``0``/``false``/``no``/unset disable run telemetry.
+    """
+    raw = os.environ.get("REPRO_TELEMETRY", "").strip()
     if raw in ("", "0", "false", "no"):
         return None
     return raw

@@ -96,6 +96,8 @@ def run_scenario(
     packet_size: float = PACKET_SIZE,
     delay_histograms: bool = False,
     max_events: int | None = None,
+    sink=None,
+    registry=None,
 ) -> ScenarioResult:
     """Simulate one scheme on one workload and return the measurements.
 
@@ -115,6 +117,12 @@ def run_scenario(
         max_events: optional event budget for this run; exceeding it
             raises :class:`~repro.errors.SimulationError`.  Campaigns use
             this as a per-job safety valve.
+        sink: optional :class:`~repro.obs.sink.TraceSink`; when given, the
+            port fans it out to every layer (engine, scheduler, manager)
+            and the run emits a structured event stream.
+        registry: optional :class:`~repro.obs.registry.MetricsRegistry`;
+            when given, the port and its components register their gauges
+            and counters into it before the run starts.
     """
     if sim_time <= 0:
         raise ConfigurationError(f"sim_time must be positive, got {sim_time}")
@@ -129,21 +137,25 @@ def run_scenario(
     )
     collector = StatsCollector(warmup=warmup, delay_histograms=delay_histograms)
     port = OutputPort(sim, link_rate, build.scheduler, build.manager, collector)
+    if sink is not None:
+        port.attach_trace(sink)
+    if registry is not None:
+        port.register_metrics(registry)
 
     seed_seq = np.random.SeedSequence(seed)
     child_seqs = seed_seq.spawn(len(flows))
     for flow, child in zip(flows, child_seqs):
         rng = np.random.default_rng(child)
-        sink = port
+        destination = port
         if flow.conformant:
-            sink = LeakyBucketShaper(sim, flow.bucket, flow.token_rate, port)
+            destination = LeakyBucketShaper(sim, flow.bucket, flow.token_rate, port)
         OnOffSource(
             sim,
             flow.flow_id,
             flow.peak_rate,
             flow.avg_rate,
             flow.mean_burst,
-            sink,
+            destination,
             rng,
             packet_size=packet_size,
             until=sim_time,

@@ -39,6 +39,7 @@ class LogHistogram:
             )
         self.lo = float(lo)
         self.hi = float(hi)
+        self.bins_per_decade = int(bins_per_decade)
         self.base = 10.0 ** (1.0 / bins_per_decade)
         self.n_bins = int(math.ceil(math.log(hi / lo, self.base)))
         self._counts = [0] * (self.n_bins + 2)  # +underflow +overflow
@@ -81,21 +82,53 @@ class LogHistogram:
         """Estimate the q-th percentile (q in [0, 100]).
 
         Returns the geometric midpoint of the bin containing the
-        percentile rank; 0.0 when the histogram is empty.
+        percentile rank; 0.0 when the histogram is empty.  The extremes
+        are exact rather than midpoint estimates: ``q=0`` is the low edge
+        of the first occupied bin (the tightest lower bound the binning
+        can certify) and ``q=100`` is the recorded ``max_value``.
         """
         if not 0 <= q <= 100:
             raise ConfigurationError(f"q must be in [0, 100], got {q}")
         if self.count == 0:
             return 0.0
+        if q >= 100:
+            return self.max_value
         rank = q / 100.0 * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self._counts):
             cumulative += bucket_count
             if cumulative >= rank and bucket_count > 0:
                 low, high = self.bin_bounds(index)
+                if q <= 0:
+                    return low
                 if index == 0:
                     return low / 2.0
                 if math.isinf(high):
                     return self.max_value
                 return math.sqrt(low * high)
         return self.max_value
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Both histograms must share the exact binning (``lo``, ``hi``,
+        ``bins_per_decade``); counts add bin-wise, so merging per-worker
+        histograms is equivalent to having recorded every value into one
+        histogram.  ``total`` adds and ``max_value`` takes the larger.
+        """
+        if (
+            other.lo != self.lo
+            or other.hi != self.hi
+            or other.bins_per_decade != self.bins_per_decade
+        ):
+            raise ConfigurationError(
+                "cannot merge histograms with different binning: "
+                f"(lo={self.lo}, hi={self.hi}, bpd={self.bins_per_decade}) vs "
+                f"(lo={other.lo}, hi={other.hi}, bpd={other.bins_per_decade})"
+            )
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value

@@ -25,7 +25,11 @@ class OccupancyProbe:
         period: sampling period in seconds.
         probes: mapping name -> zero-argument callable returning a float
             (e.g. ``lambda: manager.occupancy(1)``).
-        until: stop sampling at this time (None = run forever).
+        until: stop sampling at this time (None = run forever).  The
+            boundary is sampled *inclusively*: the final sample lands
+            exactly at ``until``, even when the sampling period does not
+            divide it (the last step is clamped), so a measurement
+            window always includes its end state.
 
     After the run, ``times`` holds the sample instants and
     ``series[name]`` the aligned values.
@@ -51,12 +55,32 @@ class OccupancyProbe:
         sim.schedule(0.0, self._sample)
 
     def _sample(self) -> None:
-        if self.until is not None and self.sim.now > self.until:
-            return
-        self.times.append(self.sim.now)
+        now = self.sim.now
+        self.times.append(now)
         for name, probe in self.probes.items():
             self.series[name].append(float(probe()))
-        self.sim.schedule(self.period, self._sample)
+        if self.until is None:
+            self.sim.schedule(self.period, self._sample)
+            return
+        if now >= self.until:
+            return  # the boundary sample at `until` was just taken
+        # Clamp the last step so the boundary is sampled exactly at
+        # `until` instead of being silently dropped when accumulated
+        # float steps overshoot it (e.g. 3 * 0.1 > 0.3).
+        self.sim.schedule_at(min(now + self.period, self.until), self._sample)
+
+    def to_rows(self) -> list[tuple[float, str, float]]:
+        """The samples as flat ``(time, name, value)`` rows.
+
+        Rows are ordered by time, then by series name (insertion order of
+        ``probes``), which is the layout the JSONL trace tooling and
+        spreadsheet-style consumers expect.
+        """
+        rows: list[tuple[float, str, float]] = []
+        for index, time in enumerate(self.times):
+            for name in self.series:
+                rows.append((time, name, self.series[name][index]))
+        return rows
 
     def maximum(self, name: str) -> float:
         """Largest sampled value of a series (0.0 if never sampled)."""

@@ -1,0 +1,57 @@
+"""repro.obs — structured observability for the simulator and campaigns.
+
+Three cooperating layers, all opt-in and zero-cost when disabled:
+
+* **event tracing** (:mod:`repro.obs.events`, :mod:`repro.obs.sink`) —
+  typed, structured events emitted by the engine, port, buffer managers
+  and schedulers into a :class:`~repro.obs.sink.TraceSink`.  Components
+  hold ``_sink = None`` by default and guard every emission with a single
+  ``if self._sink is not None`` check, so untraced runs pay one pointer
+  comparison per hook point and nothing else.
+* **metrics** (:mod:`repro.obs.registry`) — a named registry of
+  counters, gauges and log-histograms (with labels) that components
+  register into; snapshots are plain dicts and registries merge, so
+  per-worker metrics aggregate cleanly.
+* **run telemetry** (:mod:`repro.obs.telemetry`) — per-job wall time,
+  event counts, cache hits and worker ids recorded by the campaign
+  pipeline and aggregated into a :class:`~repro.obs.telemetry.CampaignReport`.
+
+See ``docs/observability.md`` for the event schema and overhead numbers.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    DepartEvent,
+    DropEvent,
+    EnqueueEvent,
+    HeadroomEvent,
+    HeapCompactEvent,
+    ThresholdCrossEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.reader import filter_events, read_events, replay_flow_counts
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import JsonlSink, RingSink, TraceSink
+from repro.obs.telemetry import CampaignReport, JobTelemetry
+
+__all__ = [
+    "EVENT_TYPES",
+    "CampaignReport",
+    "DepartEvent",
+    "DropEvent",
+    "EnqueueEvent",
+    "HeadroomEvent",
+    "HeapCompactEvent",
+    "JobTelemetry",
+    "JsonlSink",
+    "MetricsRegistry",
+    "RingSink",
+    "ThresholdCrossEvent",
+    "TraceSink",
+    "event_from_dict",
+    "event_to_dict",
+    "filter_events",
+    "read_events",
+    "replay_flow_counts",
+]

@@ -1,0 +1,160 @@
+"""Typed trace events.
+
+Each event is a frozen, slotted dataclass with a class-level ``kind``
+tag; the tag is what trace files, filters and the CLI use to name the
+event type.  All times are simulation seconds, all sizes are bytes —
+the library's canonical units.
+
+The schema is versioned by :data:`TRACE_SCHEMA`: readers reject trace
+files written under a different tag instead of misinterpreting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "EVENT_TYPES",
+    "EnqueueEvent",
+    "DropEvent",
+    "DepartEvent",
+    "ThresholdCrossEvent",
+    "HeadroomEvent",
+    "HeapCompactEvent",
+    "event_to_dict",
+    "event_from_dict",
+]
+
+#: Version tag written into every JSONL trace header.  Bump whenever an
+#: event gains/loses a field or changes meaning.
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+@dataclass(frozen=True, slots=True)
+class EnqueueEvent:
+    """A packet was admitted and handed to the scheduler.
+
+    Emitted by the scheduler (:meth:`~repro.sched.base.Scheduler.enqueue`),
+    so ``backlog`` is the queue length *after* the insert.
+    """
+
+    kind: ClassVar[str] = "enqueue"
+    time: float
+    flow_id: int
+    size: float
+    backlog: int
+
+
+@dataclass(frozen=True, slots=True)
+class DropEvent:
+    """The buffer manager rejected a packet.
+
+    ``reason`` classifies the rejection: ``buffer-full`` (no space at
+    all), ``threshold`` (fixed per-flow threshold), ``dynamic-threshold``,
+    ``shared-buffer`` (holes/headroom exhausted for this flow), ``red`` /
+    ``fred`` (probabilistic early drop), or ``policy`` for managers that
+    do not classify further.
+    """
+
+    kind: ClassVar[str] = "drop"
+    time: float
+    flow_id: int
+    size: float
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class DepartEvent:
+    """A packet finished transmission and left the buffer."""
+
+    kind: ClassVar[str] = "depart"
+    time: float
+    flow_id: int
+    size: float
+    delay: float
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdCrossEvent:
+    """A flow's occupancy crossed its admission threshold.
+
+    ``direction`` is ``up`` when an admission brought the occupancy up
+    to (or past) the threshold and ``down`` when a departure dropped it
+    back below — admission caps occupancy at exactly the threshold, so
+    "reached" counts as crossed.  ``occupancy`` is the value *after* the
+    transition.
+    """
+
+    kind: ClassVar[str] = "threshold"
+    time: float
+    flow_id: int
+    occupancy: float
+    threshold: float
+    direction: str
+
+
+@dataclass(frozen=True, slots=True)
+class HeadroomEvent:
+    """The sharing scheme's headroom/holes split changed (Section 3.3)."""
+
+    kind: ClassVar[str] = "headroom"
+    time: float
+    headroom: float
+    holes: float
+
+
+@dataclass(frozen=True, slots=True)
+class HeapCompactEvent:
+    """The engine rebuilt its heap to purge cancelled events."""
+
+    kind: ClassVar[str] = "compact"
+    time: float
+    removed: int
+    remaining: int
+
+
+#: kind tag -> event class, the vocabulary of a trace stream.
+EVENT_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        EnqueueEvent,
+        DropEvent,
+        DepartEvent,
+        ThresholdCrossEvent,
+        HeadroomEvent,
+        HeapCompactEvent,
+    )
+}
+
+#: Per-class field-name cache so serialization avoids dataclasses.asdict
+#: (which deep-copies) on the trace hot path.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {
+    cls: tuple(f.name for f in fields(cls)) for cls in EVENT_TYPES.values()
+}
+
+
+def event_to_dict(event) -> dict:
+    """JSON-friendly form of any trace event (``kind`` key first)."""
+    names = _FIELD_NAMES.get(type(event))
+    if names is None:
+        raise ConfigurationError(f"not a trace event: {event!r}")
+    payload = {"kind": type(event).kind}
+    for name in names:
+        payload[name] = getattr(event, name)
+    return payload
+
+
+def event_from_dict(raw: dict):
+    """Rebuild a typed event from :func:`event_to_dict` output."""
+    kind = raw.get("kind")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown event kind {kind!r}; valid: {sorted(EVENT_TYPES)}"
+        )
+    kwargs = {name: raw[name] for name in _FIELD_NAMES[cls]}
+    return cls(**kwargs)

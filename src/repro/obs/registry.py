@@ -1,0 +1,209 @@
+"""Named metrics: counters, gauges and histograms with labels.
+
+The registry is the export surface for component state that used to live
+in ad-hoc attributes (``Simulator.compactions``,
+``OutputPort.dropped_packets``, ...).  Components *register into* a
+registry (:meth:`~repro.sim.engine.Simulator.register_metrics` and
+friends); callers take a :meth:`MetricsRegistry.snapshot` — a plain,
+JSON-friendly dict — whenever they want a consistent view.
+
+Two instrument families:
+
+* **owned instruments** (:class:`Counter`, :class:`Gauge`,
+  histogram via :meth:`MetricsRegistry.histogram`) hold their own value
+  and are updated by whoever created them;
+* **callback gauges** (:meth:`MetricsRegistry.gauge_callback`) sample an
+  existing attribute at snapshot time, so hot paths that already
+  maintain a plain ``int`` pay nothing extra for being observable.
+
+Registries :meth:`merge`, which is how per-worker metrics (including
+per-worker :class:`~repro.metrics.histogram.LogHistogram`\\ s) aggregate
+into one campaign-level view.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.metrics.histogram import LogHistogram
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+#: Percentiles included in histogram snapshots.
+_SNAPSHOT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, label_key: tuple) -> str:
+    if not label_key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing named value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Named value that can move in both directions."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class MetricsRegistry:
+    """Get-or-create store of named, labelled instruments.
+
+    An instrument is identified by ``(name, labels)``; asking twice
+    returns the same object, and asking for the same identity as a
+    different instrument family raises
+    :class:`~repro.errors.ConfigurationError` (a name cannot be a
+    counter in one place and a gauge in another).
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_callbacks")
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, LogHistogram] = {}
+        self._callbacks: dict[tuple, Callable[[], float]] = {}
+
+    # -- instrument creation --------------------------------------------
+
+    def _check_unique(self, key: tuple, family: dict) -> None:
+        for other in (self._counters, self._gauges, self._histograms, self._callbacks):
+            if other is not family and key in other:
+                raise ConfigurationError(
+                    f"metric {_render_key(key[0], key[1])!r} already registered "
+                    "as a different instrument family"
+                )
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            self._check_unique(key, self._counters)
+            instrument = Counter(name, key[1])
+            self._counters[key] = instrument
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            self._check_unique(key, self._gauges)
+            instrument = Gauge(name, key[1])
+            self._gauges[key] = instrument
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        lo: float = 1e-6,
+        hi: float = 100.0,
+        bins_per_decade: int = 10,
+        **labels,
+    ) -> LogHistogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            self._check_unique(key, self._histograms)
+            instrument = LogHistogram(lo=lo, hi=hi, bins_per_decade=bins_per_decade)
+            self._histograms[key] = instrument
+        return instrument
+
+    def gauge_callback(self, name: str, fn: Callable[[], float], **labels) -> None:
+        """Register a zero-argument callable sampled at snapshot time.
+
+        Re-registering the same identity replaces the callable (a new
+        Simulator can take over the ``sim.*`` names of a finished one).
+        """
+        key = (name, _label_key(labels))
+        self._check_unique(key, self._callbacks)
+        self._callbacks[key] = fn
+
+    # -- read side ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One consistent, JSON-friendly view of every instrument.
+
+        Keys render as ``name`` or ``name{label=value,...}``; counter and
+        gauge values are floats, histograms collapse to a dict of count /
+        mean / max / p50 / p95 / p99.
+        """
+        out: dict = {}
+        for key, counter in sorted(self._counters.items()):
+            out[_render_key(*key)] = counter.value
+        for key, gauge in sorted(self._gauges.items()):
+            out[_render_key(*key)] = gauge.value
+        for key, fn in sorted(self._callbacks.items()):
+            out[_render_key(*key)] = float(fn())
+        for key, histogram in sorted(self._histograms.items()):
+            out[_render_key(*key)] = {
+                "count": histogram.count,
+                "mean": histogram.mean,
+                "max": histogram.max_value,
+                **{
+                    f"p{q:g}": histogram.percentile(q)
+                    for q in _SNAPSHOT_PERCENTILES
+                },
+            }
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry (e.g. a worker's) into this one.
+
+        Counters add, histograms merge bin-wise (via
+        :meth:`~repro.metrics.histogram.LogHistogram.merge`), gauges take
+        the other registry's latest value.  Callback gauges are *not*
+        merged: they sample live objects that only exist in their own
+        process.
+        """
+        for key, counter in other._counters.items():
+            self.counter(key[0], **dict(key[1])).inc(counter.value)
+        for key, gauge in other._gauges.items():
+            self.gauge(key[0], **dict(key[1])).set(gauge.value)
+        for key, histogram in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                self._check_unique(key, self._histograms)
+                mine = LogHistogram(
+                    lo=histogram.lo,
+                    hi=histogram.hi,
+                    bins_per_decade=histogram.bins_per_decade,
+                )
+                self._histograms[key] = mine
+            mine.merge(histogram)

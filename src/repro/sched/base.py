@@ -10,13 +10,39 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro.errors import ConfigurationError
 from repro.sim.packet import Packet
 
 __all__ = ["Scheduler"]
 
 
 class Scheduler(ABC):
-    """Order of service for packets already admitted to the buffer."""
+    """Order of service for packets already admitted to the buffer.
+
+    Schedulers are the emission point for
+    :class:`~repro.obs.events.EnqueueEvent`: every admitted packet passes
+    through exactly one ``enqueue`` call, so the trace's enqueue count is
+    the admission count.  The class-level ``_sink = None`` default keeps
+    untraced instances on the fast path — concrete ``enqueue``
+    implementations guard emission with one ``is not None`` check.
+    """
+
+    #: Trace sink and clock; class-level None means "tracing disabled".
+    _sink = None
+    _clock = None
+
+    def attach_trace(self, sink, clock) -> None:
+        """Emit enqueue events into ``sink``, stamped via ``clock``.
+
+        Pass ``sink=None`` to detach.  Composite schedulers (e.g.
+        :class:`~repro.sched.hybrid.HybridScheduler`) attach only their
+        outer layer, so a packet is traced once per port, not once per
+        wrapped queue.
+        """
+        if sink is not None and clock is None:
+            raise ConfigurationError("attach_trace needs a clock with its sink")
+        self._sink = sink
+        self._clock = clock
 
     @abstractmethod
     def enqueue(self, packet: Packet) -> None:

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.obs.events import EnqueueEvent
 from repro.sched.base import Scheduler
 from repro.sim.packet import Packet
 
@@ -24,6 +25,15 @@ class FIFOScheduler(Scheduler):
     def enqueue(self, packet: Packet) -> None:
         self._queue.append(packet)
         self._bytes += packet.size
+        if self._sink is not None:
+            self._sink.emit(
+                EnqueueEvent(
+                    time=self._clock(),
+                    flow_id=packet.flow_id,
+                    size=packet.size,
+                    backlog=len(self._queue),
+                )
+            )
 
     def dequeue(self) -> Packet | None:
         if not self._queue:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.events import EnqueueEvent
 from repro.sched.base import Scheduler
 from repro.sched.wfq import WFQScheduler
 from repro.sim.packet import Packet
@@ -80,6 +81,17 @@ class HybridScheduler(Scheduler):
         if packet.flow_id not in self.class_of:
             raise ConfigurationError(f"flow {packet.flow_id} not assigned to any class")
         self._wfq.enqueue(packet)
+        # The inner WFQ is never attached, so the packet is traced exactly
+        # once — here, at the port-facing layer.
+        if self._sink is not None:
+            self._sink.emit(
+                EnqueueEvent(
+                    time=self._clock(),
+                    flow_id=packet.flow_id,
+                    size=packet.size,
+                    backlog=len(self._wfq),
+                )
+            )
 
     def dequeue(self) -> Packet | None:
         return self._wfq.dequeue()

@@ -22,6 +22,7 @@ from collections import deque
 from typing import Callable, Mapping
 
 from repro.errors import ConfigurationError
+from repro.obs.events import EnqueueEvent
 from repro.sched.base import Scheduler
 from repro.sim.packet import Packet
 
@@ -88,6 +89,15 @@ class RPQScheduler(Scheduler):
         bucket.append(packet)
         self._count += 1
         self._bytes += packet.size
+        if self._sink is not None:
+            self._sink.emit(
+                EnqueueEvent(
+                    time=self._clock(),
+                    flow_id=packet.flow_id,
+                    size=packet.size,
+                    backlog=self._count,
+                )
+            )
 
     def dequeue(self) -> Packet | None:
         while self._order:

@@ -21,6 +21,7 @@ from collections import deque
 from typing import Callable, Mapping
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.events import EnqueueEvent
 from repro.sched.base import Scheduler
 from repro.sim.packet import Packet
 
@@ -77,6 +78,15 @@ class SCFQScheduler(Scheduler):
             heapq.heappush(self._hol, (tag, packet.seq, packet.flow_id, packet))
         self._count += 1
         self._bytes += packet.size
+        if self._sink is not None:
+            self._sink.emit(
+                EnqueueEvent(
+                    time=self._clock(),
+                    flow_id=packet.flow_id,
+                    size=packet.size,
+                    backlog=self._count,
+                )
+            )
 
     def dequeue(self) -> Packet | None:
         if not self._hol:

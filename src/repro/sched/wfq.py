@@ -30,6 +30,7 @@ from collections import deque
 from typing import Callable, Mapping
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.events import EnqueueEvent
 from repro.sched.base import Scheduler
 from repro.sim.packet import Packet
 
@@ -115,6 +116,15 @@ class WFQScheduler(Scheduler):
             heapq.heappush(self._hol, (finish, packet.seq, key, packet))
         self._count += 1
         self._bytes += packet.size
+        if self._sink is not None:
+            self._sink.emit(
+                EnqueueEvent(
+                    time=self._clock(),
+                    flow_id=packet.flow_id,
+                    size=packet.size,
+                    backlog=self._count,
+                )
+            )
 
     def dequeue(self) -> Packet | None:
         if not self._hol:

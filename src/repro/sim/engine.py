@@ -16,6 +16,7 @@ import heapq
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs.events import HeapCompactEvent
 
 __all__ = ["Event", "Simulator"]
 
@@ -65,7 +66,15 @@ class Simulator:
         sim.run(until=10.0)
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_cancelled", "_compactions")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_events_processed",
+        "_cancelled",
+        "_compactions",
+        "_sink",
+    )
 
     #: Smallest heap worth compacting; below this lazy deletion is cheaper
     #: than a rebuild.
@@ -78,6 +87,7 @@ class Simulator:
         self._events_processed: int = 0
         self._cancelled: int = 0
         self._compactions: int = 0
+        self._sink = None
 
     @property
     def events_processed(self) -> int:
@@ -98,6 +108,26 @@ class Simulator:
     def compactions(self) -> int:
         """Times the heap was rebuilt to purge cancelled events."""
         return self._compactions
+
+    def attach_trace(self, sink) -> None:
+        """Emit engine events (heap compactions) into ``sink``.
+
+        Pass ``None`` to detach.  Untraced simulators pay a single
+        ``is not None`` check per compaction and nothing per event.
+        """
+        self._sink = sink
+
+    def register_metrics(self, registry) -> None:
+        """Expose the engine's counters through a metrics registry.
+
+        Callback gauges sample the live attributes at snapshot time, so
+        the event loop keeps its plain-int hot path.
+        """
+        registry.gauge_callback("sim.events_processed", lambda: self._events_processed)
+        registry.gauge_callback("sim.pending", lambda: len(self._heap))
+        registry.gauge_callback("sim.cancelled_pending", lambda: self._cancelled)
+        registry.gauge_callback("sim.compactions", lambda: self._compactions)
+        registry.gauge_callback("sim.now", lambda: self.now)
 
     def _note_cancelled(self) -> None:
         """Bookkeeping hook called by :meth:`Event.cancel`.
@@ -121,10 +151,19 @@ class Simulator:
         is rebuilt in place: ``run``/``step`` hold a local alias to it and
         a cancel can arrive from a callback mid-loop.
         """
+        before = len(self._heap)
         self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
         self._compactions += 1
+        if self._sink is not None:
+            self._sink.emit(
+                HeapCompactEvent(
+                    time=self.now,
+                    removed=before - len(self._heap),
+                    remaining=len(self._heap),
+                )
+            )
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.metrics.collector import StatsCollector
+from repro.obs.events import DepartEvent, DropEvent
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 
@@ -55,6 +56,7 @@ class OutputPort:
         "admitted_packets",
         "dropped_packets",
         "transmitted_packets",
+        "_sink",
     )
 
     def __init__(
@@ -79,6 +81,46 @@ class OutputPort:
         self.admitted_packets = 0
         self.dropped_packets = 0
         self.transmitted_packets = 0
+        self._sink = None
+
+    def attach_trace(self, sink) -> None:
+        """Wire a :class:`~repro.obs.sink.TraceSink` through the whole port.
+
+        The port fans the sink out to the engine (heap compactions), the
+        scheduler (enqueues), and the manager (threshold crossings,
+        headroom) so one call traces every layer.  Pass ``None`` to
+        detach everywhere.
+        """
+        self._sink = sink
+        clock = None if sink is None else (lambda: self.sim.now)
+        self.sim.attach_trace(sink)
+        self.scheduler.attach_trace(sink, clock)
+        if hasattr(self.manager, "attach_trace"):
+            self.manager.attach_trace(sink, clock)
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Expose port counters (and sub-component gauges) in ``registry``."""
+        registry.gauge_callback(
+            "port.admitted_packets", lambda: self.admitted_packets, **labels
+        )
+        registry.gauge_callback(
+            "port.dropped_packets", lambda: self.dropped_packets, **labels
+        )
+        registry.gauge_callback(
+            "port.transmitted_packets", lambda: self.transmitted_packets, **labels
+        )
+        registry.gauge_callback(
+            "port.backlog_packets", lambda: self.backlog_packets, **labels
+        )
+        self.sim.register_metrics(registry, **labels)
+        if hasattr(self.manager, "register_metrics"):
+            self.manager.register_metrics(registry, **labels)
+
+    def _drop_reason(self, packet: Packet) -> str:
+        reason = getattr(self.manager, "drop_reason", None)
+        if reason is None:
+            return "policy"
+        return reason(packet.flow_id, packet.size)
 
     def receive(self, packet: Packet) -> bool:
         """Handle an arriving packet; returns True if admitted."""
@@ -89,6 +131,15 @@ class OutputPort:
             self.dropped_packets += 1
             if self.collector is not None:
                 self.collector.on_drop(packet.flow_id, packet.size, now)
+            if self._sink is not None:
+                self._sink.emit(
+                    DropEvent(
+                        time=now,
+                        flow_id=packet.flow_id,
+                        size=packet.size,
+                        reason=self._drop_reason(packet),
+                    )
+                )
             return False
         packet.enqueued = now
         self.admitted_packets += 1
@@ -119,9 +170,19 @@ class OutputPort:
             )
         self.manager.on_depart(packet.flow_id, packet.size)
         self.transmitted_packets += 1
-        if self.collector is not None:
+        if self.collector is not None or self._sink is not None:
             delay = now - packet.enqueued
-            self.collector.on_depart(packet.flow_id, packet.size, delay, now)
+            if self.collector is not None:
+                self.collector.on_depart(packet.flow_id, packet.size, delay, now)
+            if self._sink is not None:
+                self._sink.emit(
+                    DepartEvent(
+                        time=now,
+                        flow_id=packet.flow_id,
+                        size=packet.size,
+                        delay=delay,
+                    )
+                )
         if self.downstream is not None:
             self.downstream.receive(packet)
         self._start_transmission()

@@ -100,10 +100,130 @@ class TestCampaignCommands:
             ' "metrics": ["utilization"]}'
         )
         cache_dir = tmp_path / "c"
-        argv = ["campaign", "run", "--spec", str(spec), "--cache-dir", str(cache_dir)]
+        argv = [
+            "campaign", "run", "--spec", str(spec),
+            "--cache-dir", str(cache_dir),
+            "--telemetry-dir", str(tmp_path / "telemetry"),
+        ]
         assert main(argv) == 0
         cold = capsys.readouterr().out
         assert "tiny" in cold and "0 cached" in cold
         assert main(argv) == 0
         warm = capsys.readouterr().out
         assert "2 cached" in warm and "0 executed" in warm
+
+    def test_status_surfaces_lifetime_cache_stats(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"name": "tiny", "workload": "table1", "scheme": "FIFO_NONE",'
+            ' "buffer_mb": 0.5, "sim_time": 0.5, "seeds": [1],'
+            ' "metrics": ["utilization"]}'
+        )
+        cache_dir = tmp_path / "c"
+        argv = [
+            "campaign", "run", "--spec", str(spec),
+            "--cache-dir", str(cache_dir),
+            "--telemetry-dir", str(tmp_path / "telemetry"),
+        ]
+        main(argv)
+        main(argv)
+        capsys.readouterr()
+        assert main(["campaign", "status", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "lifetime hits   : 1" in out
+        assert "lifetime misses : 1" in out
+        assert "lifetime stores : 1" in out
+        assert "cached bytes    : " in out
+
+
+class TestObsCommands:
+    SPEC = (
+        '{"name": "tiny", "workload": "table1", "scheme": "FIFO_THRESHOLD",'
+        ' "buffer_mb": 0.02, "sim_time": 0.5, "seeds": [3],'
+        ' "metrics": ["utilization"]}'
+    )
+
+    def write_spec(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(self.SPEC)
+        return spec
+
+    def test_trace_needs_exactly_one_source(self, capsys, tmp_path):
+        assert main(["obs", "trace"]) == 2
+        assert "--input" in capsys.readouterr().err
+        spec = self.write_spec(tmp_path)
+        argv = [
+            "obs", "trace", "--spec", str(spec),
+            "--input", str(tmp_path / "t.jsonl"),
+        ]
+        assert main(argv) == 2
+
+    def test_trace_from_spec_writes_and_prints(self, tmp_path, capsys):
+        import json
+
+        spec = self.write_spec(tmp_path)
+        out_path = tmp_path / "trace.jsonl"
+        argv = ["obs", "trace", "--spec", str(spec), "--trace-out", str(out_path)]
+        assert main(argv) == 0
+        assert out_path.is_file()
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "enqueue" in kinds
+
+    def test_trace_filters_by_flow_and_type(self, tmp_path, capsys):
+        import json
+
+        spec = self.write_spec(tmp_path)
+        out_path = tmp_path / "trace.jsonl"
+        main(["obs", "trace", "--spec", str(spec), "--trace-out", str(out_path)])
+        capsys.readouterr()
+        argv = [
+            "obs", "trace", "--input", str(out_path),
+            "--flow", "0", "--type", "drop",
+        ]
+        assert main(argv) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines, "tiny buffer must produce drops for flow 0"
+        for line in lines:
+            event = json.loads(line)
+            assert event["kind"] == "drop"
+            assert event["flow_id"] == 0
+
+    def test_trace_time_window(self, tmp_path, capsys):
+        import json
+
+        spec = self.write_spec(tmp_path)
+        out_path = tmp_path / "trace.jsonl"
+        main(["obs", "trace", "--spec", str(spec), "--trace-out", str(out_path)])
+        capsys.readouterr()
+        argv = [
+            "obs", "trace", "--input", str(out_path),
+            "--since", "0.1", "--until", "0.2",
+        ]
+        assert main(argv) == 0
+        for line in capsys.readouterr().out.strip().splitlines():
+            assert 0.1 <= json.loads(line)["time"] <= 0.2
+
+    def test_report_after_campaign_run(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        telemetry_dir = tmp_path / "telemetry"
+        main([
+            "campaign", "run", "--spec", str(spec),
+            "--cache-dir", str(tmp_path / "c"),
+            "--telemetry-dir", str(telemetry_dir),
+        ])
+        capsys.readouterr()
+        assert main(["obs", "report", "--telemetry-dir", str(telemetry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "jobs            : 1" in out
+        assert "wall time p50" in out
+
+    def test_report_on_empty_dir(self, tmp_path, capsys):
+        argv = ["obs", "report", "--telemetry-dir", str(tmp_path / "nope")]
+        assert main(argv) == 0
+        assert "no telemetry found" in capsys.readouterr().out
+
+    def test_unknown_action_rejected(self, capsys):
+        assert main(["obs", "flush"]) == 2
+        assert "unknown obs action" in capsys.readouterr().err

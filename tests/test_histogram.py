@@ -77,6 +77,77 @@ class TestPercentiles:
         with pytest.raises(ConfigurationError):
             LogHistogram().percentile(101)
 
+    def test_p0_is_low_edge_of_first_occupied_bin(self):
+        hist = LogHistogram(lo=1e-3, hi=1.0, bins_per_decade=10)
+        hist.record(0.05)
+        hist.record(0.5)
+        low, high = hist.bin_bounds(hist._bin_index(0.05))
+        assert low <= 0.05 < high
+        assert hist.percentile(0) == pytest.approx(low)
+
+    def test_p0_underflow_bin_returns_zero(self):
+        hist = LogHistogram(lo=1e-3, hi=1.0)
+        hist.record(1e-6)  # lands in the underflow bin, low edge 0.0
+        assert hist.percentile(0) == 0.0
+
+    def test_p100_is_exact_max(self):
+        hist = LogHistogram(lo=1e-4, hi=1.0)
+        for value in (0.001, 0.05, 0.3):
+            hist.record(value)
+        # Exactly the recorded max, not a bin-midpoint estimate.
+        assert hist.percentile(100) == 0.3
+
+    def test_p0_p100_bracket_all_estimates(self):
+        rng = np.random.default_rng(4)
+        hist = LogHistogram(lo=1e-5, hi=10.0)
+        values = rng.lognormal(-4, 1, size=1000)
+        for value in values:
+            hist.record(value)
+        p0, p100 = hist.percentile(0), hist.percentile(100)
+        assert p0 <= float(values.min())
+        assert p100 == pytest.approx(float(values.max()))
+        for q in (1, 25, 50, 75, 99):
+            assert p0 <= hist.percentile(q) <= p100
+
+
+class TestMerge:
+    def test_merge_equals_single_histogram(self):
+        rng = np.random.default_rng(5)
+        values = rng.exponential(0.01, size=4000)
+        merged = LogHistogram(lo=1e-5, hi=1.0, bins_per_decade=20)
+        shards = [
+            LogHistogram(lo=1e-5, hi=1.0, bins_per_decade=20) for _ in range(4)
+        ]
+        reference = LogHistogram(lo=1e-5, hi=1.0, bins_per_decade=20)
+        for i, value in enumerate(values):
+            shards[i % 4].record(value)
+            reference.record(value)
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.count == reference.count
+        assert merged.total == pytest.approx(reference.total)
+        assert merged.max_value == reference.max_value
+        assert merged._counts == reference._counts
+        for q in (0, 50, 95, 99, 100):
+            assert merged.percentile(q) == pytest.approx(reference.percentile(q))
+
+    def test_merge_empty_other_is_noop(self):
+        hist = LogHistogram()
+        hist.record(0.01)
+        hist.merge(LogHistogram())
+        assert hist.count == 1
+        assert hist.max_value == 0.01
+
+    def test_merge_rejects_binning_mismatch(self):
+        base = LogHistogram(lo=1e-6, hi=10.0, bins_per_decade=10)
+        for other in (
+            LogHistogram(lo=1e-5, hi=10.0, bins_per_decade=10),
+            LogHistogram(lo=1e-6, hi=1.0, bins_per_decade=10),
+            LogHistogram(lo=1e-6, hi=10.0, bins_per_decade=20),
+        ):
+            with pytest.raises(ConfigurationError):
+                base.merge(other)
+
 
 class TestConfiguration:
     def test_bad_bounds(self):

@@ -1,0 +1,72 @@
+"""Typed trace events: vocabulary and serialization round-trips."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    EVENT_TYPES,
+    DepartEvent,
+    DropEvent,
+    EnqueueEvent,
+    HeadroomEvent,
+    HeapCompactEvent,
+    ThresholdCrossEvent,
+    event_from_dict,
+    event_to_dict,
+)
+
+SAMPLES = [
+    EnqueueEvent(time=0.5, flow_id=3, size=500.0, backlog=7),
+    DropEvent(time=1.0, flow_id=9, size=500.0, reason="threshold"),
+    DepartEvent(time=2.5, flow_id=3, size=500.0, delay=0.004),
+    ThresholdCrossEvent(
+        time=3.0, flow_id=3, occupancy=4000.0, threshold=4000.0, direction="up"
+    ),
+    HeadroomEvent(time=4.0, headroom=1500.0, holes=2.0),
+    HeapCompactEvent(time=5.0, removed=120, remaining=40),
+]
+
+
+class TestVocabulary:
+    def test_every_event_class_registered(self):
+        assert set(EVENT_TYPES) == {
+            "enqueue",
+            "drop",
+            "depart",
+            "threshold",
+            "headroom",
+            "compact",
+        }
+
+    def test_kind_tags_match_classes(self):
+        for kind, cls in EVENT_TYPES.items():
+            assert cls.kind == kind
+
+    def test_events_are_frozen(self):
+        event = SAMPLES[0]
+        with pytest.raises(AttributeError):
+            event.time = 99.0
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: type(e).kind)
+    def test_round_trip(self, event):
+        raw = event_to_dict(event)
+        assert raw["kind"] == type(event).kind
+        assert event_from_dict(raw) == event
+
+    def test_kind_key_comes_first(self):
+        raw = event_to_dict(SAMPLES[0])
+        assert next(iter(raw)) == "kind"
+
+    def test_to_dict_rejects_foreign_objects(self):
+        with pytest.raises(ConfigurationError):
+            event_to_dict({"kind": "enqueue"})
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            event_from_dict({"kind": "martian", "time": 0.0})
+
+    def test_from_dict_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            event_from_dict({"kind": "enqueue", "time": 0.0})

@@ -1,0 +1,185 @@
+"""Metrics registry: instruments, labels, snapshots, merging."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.counter("drops")
+        b = registry.counter("drops")
+        assert a is b
+        a.inc(3)
+        assert registry.snapshot()["drops"] == 3.0
+
+    def test_counter_rejects_decrease(self):
+        counter = MetricsRegistry().counter("drops")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("occupancy")
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert registry.snapshot()["occupancy"] == 13.0
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("drops", flow=1).inc()
+        registry.counter("drops", flow=2).inc(2)
+        snap = registry.snapshot()
+        assert snap["drops{flow=1}"] == 1.0
+        assert snap["drops{flow=2}"] == 2.0
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("x", b=1, a=2)
+        b = registry.gauge("x", a=2, b=1)
+        assert a is b
+
+    def test_cross_family_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge_callback("x", lambda: 0.0)
+
+    def test_gauge_callback_sampled_at_snapshot(self):
+        registry = MetricsRegistry()
+        state = {"v": 1.0}
+        registry.gauge_callback("live", lambda: state["v"])
+        assert registry.snapshot()["live"] == 1.0
+        state["v"] = 7.0
+        assert registry.snapshot()["live"] == 7.0
+
+    def test_gauge_callback_rebind_allowed(self):
+        registry = MetricsRegistry()
+        registry.gauge_callback("live", lambda: 1.0)
+        registry.gauge_callback("live", lambda: 2.0)
+        assert registry.snapshot()["live"] == 2.0
+
+    def test_histogram_snapshot_shape(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("wall", lo=1e-3, hi=10.0)
+        for value in (0.01, 0.02, 0.04):
+            histogram.record(value)
+        entry = registry.snapshot()["wall"]
+        assert entry["count"] == 3
+        assert entry["mean"] == pytest.approx(0.07 / 3)
+        assert entry["max"] == 0.04
+        assert set(entry) == {"count", "mean", "max", "p50", "p95", "p99"}
+
+
+class TestMerge:
+    def test_counters_add_and_gauges_overwrite(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        ours.counter("drops").inc(2)
+        theirs.counter("drops").inc(3)
+        ours.gauge("occupancy").set(1.0)
+        theirs.gauge("occupancy").set(9.0)
+        ours.merge(theirs)
+        snap = ours.snapshot()
+        assert snap["drops"] == 5.0
+        assert snap["occupancy"] == 9.0
+
+    def test_histograms_merge_binwise(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        ours.histogram("wall", lo=1e-3, hi=10.0).record(0.01)
+        theirs.histogram("wall", lo=1e-3, hi=10.0).record(0.1)
+        ours.merge(theirs)
+        entry = ours.snapshot()["wall"]
+        assert entry["count"] == 2
+        assert entry["max"] == 0.1
+
+    def test_merge_creates_missing_histogram_with_same_binning(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        theirs.histogram("wall", lo=1e-2, hi=100.0, bins_per_decade=4).record(1.0)
+        ours.merge(theirs)
+        mine = ours.histogram("wall", lo=1e-2, hi=100.0, bins_per_decade=4)
+        assert mine.count == 1
+
+    def test_callbacks_not_merged(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        theirs.gauge_callback("live", lambda: 1.0)
+        ours.merge(theirs)
+        assert "live" not in ours.snapshot()
+
+
+class TestComponentRegistration:
+    def test_simulator_metrics(self):
+        from repro.sim.engine import Simulator
+
+        registry = MetricsRegistry()
+        sim = Simulator()
+        sim.register_metrics(registry)
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        snap = registry.snapshot()
+        assert snap["sim.events_processed"] == 1.0
+        assert snap["sim.now"] == 2.0
+        assert snap["sim.pending"] == 0.0
+
+    def test_manager_metrics(self):
+        from repro.core.fixed_threshold import FixedThresholdManager
+
+        registry = MetricsRegistry()
+        manager = FixedThresholdManager(
+            capacity=1000.0, thresholds={}, default_threshold=400.0
+        )
+        manager.register_metrics(registry)
+        manager.try_admit(1, 300.0)
+        snap = registry.snapshot()
+        assert snap["buffer.total_occupancy"] == 300.0
+        assert snap["buffer.free_space"] == 700.0
+        assert snap["buffer.active_flows"] == 1.0
+
+    def test_shared_headroom_metrics(self):
+        from repro.core.shared_headroom import SharedHeadroomManager
+
+        registry = MetricsRegistry()
+        manager = SharedHeadroomManager(
+            capacity=1000.0,
+            headroom=200.0,
+            thresholds={},
+            default_threshold=400.0,
+        )
+        manager.register_metrics(registry)
+        snap = registry.snapshot()
+        assert "buffer.headroom" in snap
+        assert "buffer.holes" in snap
+
+    def test_port_metrics_cover_all_layers(self):
+        from repro.core.fixed_threshold import FixedThresholdManager
+        from repro.sched.fifo import FIFOScheduler
+        from repro.sim.engine import Simulator
+        from repro.sim.port import OutputPort
+
+        registry = MetricsRegistry()
+        sim = Simulator()
+        manager = FixedThresholdManager(
+            capacity=10_000.0, thresholds={}, default_threshold=5000.0
+        )
+        port = OutputPort(sim, 1e6, FIFOScheduler(), manager)
+        port.register_metrics(registry)
+        snap = registry.snapshot()
+        for name in (
+            "port.admitted_packets",
+            "port.dropped_packets",
+            "port.transmitted_packets",
+            "port.backlog_packets",
+            "sim.events_processed",
+            "buffer.total_occupancy",
+        ):
+            assert name in snap

@@ -1,0 +1,112 @@
+"""Trace sinks: bounded ring and streaming JSONL."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import TRACE_SCHEMA, EnqueueEvent
+from repro.obs.reader import read_events
+from repro.obs.sink import JsonlSink, RingSink, TraceSink
+
+
+def make_event(i):
+    return EnqueueEvent(time=float(i), flow_id=i, size=500.0, backlog=i)
+
+
+class TestRingSink:
+    def test_keeps_most_recent_events(self):
+        sink = RingSink(capacity=3)
+        for i in range(5):
+            sink.emit(make_event(i))
+        assert [e.flow_id for e in sink.events()] == [2, 3, 4]
+        assert len(sink) == 3
+        assert sink.emitted == 5  # drops are counted, not lost silently
+
+    def test_clear(self):
+        sink = RingSink(capacity=3)
+        sink.emit(make_event(0))
+        sink.clear()
+        assert sink.events() == []
+        assert sink.emitted == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            RingSink(capacity=0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(RingSink(), TraceSink)
+
+
+class TestJsonlSink:
+    def test_header_then_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(make_event(1))
+            sink.emit(make_event(2))
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header == {"kind": "header", "schema": TRACE_SCHEMA}
+        assert len(lines) == 3
+        assert sink.emitted == 2
+
+    def test_round_trips_through_reader(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = [make_event(i) for i in range(4)]
+        with JsonlSink(path) as sink:
+            for event in events:
+                sink.emit(event)
+        assert list(read_events(path)) == events
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        with JsonlSink(path):
+            pass
+        assert path.is_file()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close()
+        with pytest.raises(ConfigurationError):
+            sink.emit(make_event(0))
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_satisfies_protocol(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        try:
+            assert isinstance(sink, TraceSink)
+        finally:
+            sink.close()
+
+
+class TestReader:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "enqueue"}\n')
+        with pytest.raises(ConfigurationError):
+            list(read_events(path))
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "header", "schema": "repro-trace-v999"}\n')
+        with pytest.raises(ConfigurationError):
+            list(read_events(path))
+
+    def test_unparsable_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "schema": TRACE_SCHEMA}) + "\nnot json\n"
+        )
+        with pytest.raises(ConfigurationError):
+            list(read_events(path))
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(make_event(1))
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(read_events(path))) == 1

@@ -1,0 +1,217 @@
+"""Run telemetry: per-job accounting through the campaign pipeline."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import CampaignRunner, ResultCache, ScenarioJob
+from repro.experiments.schemes import Scheme
+from repro.experiments.workloads import table1_flows
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    CampaignReport,
+    JobTelemetry,
+    batch_digest,
+    read_telemetry_dir,
+    write_telemetry,
+)
+
+
+def make_entry(digest="d0", wall=0.5, events=100, hit=False, worker=1):
+    return JobTelemetry(
+        job_digest=digest, wall_time=wall, events=events, cache_hit=hit, worker=worker
+    )
+
+
+def make_jobs(n=2, sim_time=0.2):
+    flows = table1_flows()[:4]
+    return [
+        ScenarioJob.for_scenario(
+            flows, Scheme.FIFO_THRESHOLD, 20_000.0, seed=seed, sim_time=sim_time
+        )
+        for seed in range(1, n + 1)
+    ]
+
+
+class TestJobTelemetry:
+    def test_round_trip(self):
+        entry = make_entry()
+        raw = entry.to_dict()
+        assert raw["schema"] == TELEMETRY_SCHEMA
+        assert JobTelemetry.from_dict(raw) == entry
+
+    def test_schema_mismatch_rejected(self):
+        raw = make_entry().to_dict()
+        raw["schema"] = "repro-telemetry-v999"
+        with pytest.raises(ConfigurationError):
+            JobTelemetry.from_dict(raw)
+
+
+class TestCampaignReport:
+    def test_aggregation(self):
+        report = CampaignReport.from_telemetry(
+            [
+                make_entry("a", wall=1.0, events=10, hit=False, worker=1),
+                make_entry("b", wall=2.0, events=20, hit=False, worker=2),
+                make_entry("c", wall=0.001, events=30, hit=True, worker=1),
+            ]
+        )
+        assert report.jobs == 3
+        assert report.executed == 2
+        assert report.cache_hits == 1
+        assert report.hit_fraction == pytest.approx(1 / 3)
+        assert report.total_events == 60
+        assert report.total_wall_time == pytest.approx(3.001)
+        assert report.workers == [1, 2]
+
+    def test_wall_histogram_merges_workers(self):
+        report = CampaignReport.from_telemetry(
+            [
+                make_entry("a", wall=0.1, worker=1),
+                make_entry("b", wall=1.0, worker=2),
+                make_entry("c", wall=10.0, worker=3),
+            ]
+        )
+        merged = report.wall_histogram()
+        assert merged.count == 3
+        assert merged.max_value == 10.0
+
+    def test_render_and_to_dict(self):
+        report = CampaignReport.from_telemetry([make_entry()])
+        text = report.render()
+        assert "jobs" in text and "wall time p95" in text
+        raw = report.to_dict()
+        assert raw["jobs"] == 1
+        assert "wall_time_p50" in raw
+
+    def test_empty_report(self):
+        report = CampaignReport()
+        assert report.hit_fraction == 0.0
+        assert report.wall_histogram().count == 0
+        report.render()  # must not raise on empty
+
+
+class TestTelemetryFiles:
+    def test_write_then_read(self, tmp_path):
+        entries = [make_entry("a"), make_entry("b")]
+        path = write_telemetry(tmp_path, entries)
+        assert path.name == f"campaign-{batch_digest(['a', 'b'])}.jsonl"
+        assert read_telemetry_dir(tmp_path) == entries
+
+    def test_rerun_overwrites_not_accumulates(self, tmp_path):
+        entries = [make_entry("a")]
+        write_telemetry(tmp_path, entries)
+        write_telemetry(tmp_path, entries)
+        assert len(read_telemetry_dir(tmp_path)) == 1
+
+    def test_bad_lines_skipped(self, tmp_path):
+        path = write_telemetry(tmp_path, [make_entry("a")])
+        path.write_text(path.read_text() + "not json\n" + json.dumps({"schema": "x"}) + "\n")
+        assert len(read_telemetry_dir(tmp_path)) == 1
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert read_telemetry_dir(tmp_path / "nope") == []
+
+
+class TestRunnerIntegration:
+    def test_executed_jobs_carry_telemetry(self):
+        runner = CampaignRunner()
+        jobs = make_jobs(2)
+        records = runner.run(jobs)
+        for job, record in zip(jobs, records):
+            telemetry = record.telemetry
+            assert telemetry is not None
+            assert telemetry.job_digest == job.digest()
+            assert telemetry.cache_hit is False
+            assert telemetry.wall_time > 0
+            assert telemetry.events == record.events_processed
+
+    def test_cache_hits_marked(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = make_jobs(2)
+        CampaignRunner(cache=cache).run(jobs)
+        records = CampaignRunner(cache=cache).run(jobs)
+        for record in records:
+            assert record.telemetry is not None
+            assert record.telemetry.cache_hit is True
+
+    def test_last_report_aggregates_batch(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(cache=cache)
+        runner.run(make_jobs(2))
+        report = runner.last_report
+        assert report is not None
+        assert report.jobs == 2
+        assert report.executed == 2
+        rerun = CampaignRunner(cache=cache)
+        rerun.run(make_jobs(2))
+        assert rerun.last_report.cache_hits == 2
+
+    def test_telemetry_written_to_dir(self, tmp_path):
+        runner = CampaignRunner(telemetry_dir=tmp_path / "telemetry")
+        jobs = make_jobs(2)
+        runner.run(jobs)
+        entries = read_telemetry_dir(tmp_path / "telemetry")
+        assert sorted(entry.job_digest for entry in entries) == sorted(
+            job.digest() for job in jobs
+        )
+
+    def test_telemetry_not_serialized(self, tmp_path):
+        runner = CampaignRunner()
+        record = runner.run(make_jobs(1))[0]
+        assert record.telemetry is not None
+        assert "telemetry" not in record.to_dict()
+        # Equality ignores telemetry: a cache round-trip compares equal.
+        stripped = dataclasses.replace(record, telemetry=None)
+        assert stripped == record
+
+    def test_parallel_run_records_worker_ids(self, tmp_path):
+        runner = CampaignRunner(workers=2, chunk_size=1)
+        records = runner.run(make_jobs(4, sim_time=0.3))
+        workers = {record.telemetry.worker for record in records}
+        assert len(workers) >= 1  # pool may reuse one worker on tiny jobs
+        assert all(record.telemetry.wall_time > 0 for record in records)
+
+
+class TestCachePersistedStats:
+    def test_stats_accumulate_across_instances(self, tmp_path):
+        root = tmp_path / "cache"
+        jobs = make_jobs(1)
+        cache = ResultCache(root)
+        CampaignRunner(cache=cache).run(jobs)  # miss + store
+        cache2 = ResultCache(root)
+        CampaignRunner(cache=cache2).run(jobs)  # hit
+        stats = ResultCache(root).persisted_stats()
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["hits"] == 1
+
+    def test_persist_resets_in_memory_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.get("absent")
+        cache.persist_stats()
+        assert cache.misses == 0
+        cache.persist_stats()
+        assert ResultCache(tmp_path / "cache").persisted_stats()["misses"] == 1
+
+    def test_stats_file_is_not_a_cache_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.persist_stats()
+        assert cache.stats_path.is_file()
+        assert cache.entries() == []
+
+    def test_clear_removes_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.get("absent")
+        cache.persist_stats()
+        cache.clear()
+        assert not cache.stats_path.exists()
+        assert cache.persisted_stats() == {"hits": 0, "misses": 0, "stores": 0}
+
+    def test_corrupt_stats_file_tolerated(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.root.mkdir(parents=True)
+        cache.stats_path.write_text("not json")
+        assert cache.persisted_stats() == {"hits": 0, "misses": 0, "stores": 0}

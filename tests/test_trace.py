@@ -36,6 +36,25 @@ class TestSampling:
         sim.run()
         assert max(probe.times) <= 1.5
 
+    def test_boundary_sample_taken_at_until(self):
+        # 3 * 0.1 > 0.3 in floats: without clamping the last step to
+        # `until`, accumulated error pushes the final sample past the
+        # window and it is silently lost.
+        sim = Simulator()
+        probe = OccupancyProbe(sim, 0.1, {"x": lambda: sim.now}, until=0.3)
+        sim.run(until=0.3)
+        assert probe.times[-1] == pytest.approx(0.3)
+        assert len(probe.times) == 4  # 0.0, 0.1, 0.2, 0.3 inclusive
+
+    def test_boundary_sample_not_duplicated(self):
+        # `until` an exact multiple of the period in floats: the clamp
+        # must not schedule a second sample at the same instant.
+        sim = Simulator()
+        probe = OccupancyProbe(sim, 0.5, {"x": lambda: 0.0}, until=2.0)
+        sim.run(until=2.0)
+        assert probe.times == pytest.approx([0.0, 0.5, 1.0, 1.5, 2.0])
+        assert len(probe.times) == len(set(probe.times))
+
 
 class TestReductions:
     def make_probe(self):
@@ -63,6 +82,28 @@ class TestReductions:
         probe = OccupancyProbe(sim, 1.0, {"x": lambda: 1.0})
         with pytest.raises(ConfigurationError):
             probe.final("x")
+
+
+class TestToRows:
+    def test_rows_ordered_by_time_then_series(self):
+        sim = Simulator()
+        probe = OccupancyProbe(
+            sim, 1.0, {"b": lambda: 2.0, "a": lambda: sim.now}, until=1.0
+        )
+        sim.run(until=1.0)
+        rows = probe.to_rows()
+        # Time-major, insertion order within a timestamp.
+        assert rows == [
+            (0.0, "b", 2.0),
+            (0.0, "a", 0.0),
+            (1.0, "b", 2.0),
+            (1.0, "a", 1.0),
+        ]
+
+    def test_empty_probe_yields_no_rows(self):
+        sim = Simulator()
+        probe = OccupancyProbe(sim, 1.0, {"x": lambda: 0.0})
+        assert probe.to_rows() == []
 
 
 class TestValidation:
