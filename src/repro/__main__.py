@@ -15,6 +15,10 @@ Usage::
     python -m repro obs trace --spec spec.json --trace-out trace.jsonl
     python -m repro obs trace --input trace.jsonl --flow 3 --type drop
     python -m repro obs report          # summarize results/telemetry
+
+    python -m repro bench run --quick   # measure the benchmark suite
+    python -m repro bench compare --baseline benchmarks/baselines
+    python -m repro bench update-baseline
 """
 
 from __future__ import annotations
@@ -44,8 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "figure to run (figure1..figure13), 'all', 'list', 'run' "
             "with --spec for declarative scenarios, 'campaign' with an "
-            "action (run/status/clear-cache), or 'obs' with an action "
-            "(trace/report)"
+            "action (run/status/clear-cache), 'obs' with an action "
+            "(trace/report), or 'bench' with an action "
+            "(run/compare/update-baseline)"
         ),
     )
     parser.add_argument(
@@ -301,6 +306,15 @@ def run_obs(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # The bench subsystem owns its argument surface (run / compare /
+        # update-baseline with gate tuning); delegate before parsing, the
+        # same way `repro-lint` has its own CLI.
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.target == "campaign":
         return run_campaign(args)

@@ -1,0 +1,44 @@
+"""Benchmark-regression harness for the reproduction.
+
+The paper's scalability claim is that constant-time buffer admission
+keeps per-packet work flat where sorted per-packet scheduling grows with
+the flow count.  That claim is only checkable if simulated events/sec is
+*tracked*: this package runs a curated suite of macro scenarios (one per
+scheme family) and micro workloads (engine loop, RNG batching), records
+events/sec, packets/sec, wall time and peak RSS into schema-versioned
+``BENCH_<host-tag>.json`` baselines, and compares fresh runs against a
+stored baseline with a noise tolerance estimated from repeated trials.
+
+Layers (mirroring the campaign pipeline's describe/execute/measure
+split):
+
+* :mod:`repro.bench.suite`    — *describe*: the curated cases; macro
+  cases are content-addressed by their campaign
+  :class:`~repro.experiments.campaign.ScenarioJob` digest.
+* :mod:`repro.bench.measure`  — *execute*: timed trials per case.
+* :mod:`repro.bench.baseline` — *record*: canonical-JSON baselines with
+  a content digest.
+* :mod:`repro.bench.compare`  — *gate*: regression verdicts and exit
+  codes (see :mod:`repro.bench.cli`).
+"""
+
+from repro.bench.baseline import BENCH_SCHEMA, BenchBaseline, default_host_tag
+from repro.bench.compare import CaseComparison, ComparisonReport, compare_baselines
+from repro.bench.measure import CaseResult, measure_case, run_suite
+from repro.bench.suite import BenchCase, MACRO, MICRO, default_suite
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchBaseline",
+    "BenchCase",
+    "CaseComparison",
+    "CaseResult",
+    "ComparisonReport",
+    "MACRO",
+    "MICRO",
+    "compare_baselines",
+    "default_host_tag",
+    "default_suite",
+    "measure_case",
+    "run_suite",
+]

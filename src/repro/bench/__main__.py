@@ -1,0 +1,10 @@
+"""``python -m repro.bench`` — identical behaviour to ``repro bench``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

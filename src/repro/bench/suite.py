@@ -1,0 +1,285 @@
+"""The curated benchmark suite: what gets measured.
+
+Two kinds of cases:
+
+* **Macro** cases run one full scenario per scheme family (FIFO with
+  static thresholds, FIFO with shared headroom, WFQ with thresholds, and
+  the hybrid grouped scheme) on the paper's Table 1 workload.  Each
+  wraps a campaign :class:`~repro.experiments.campaign.ScenarioJob`, so
+  the case digest *is* the job's content digest — a baseline is tied to
+  the exact scenario it measured, and any change to the workload, the
+  scheme parameters, or the job schema invalidates the comparison
+  instead of silently measuring something else.
+* **Micro** cases mirror the pytest-benchmark engine workloads (event
+  chain, preloaded heap, cancellation drain) plus a batched-RNG source
+  workload.  They are digested over their canonical parameters tagged
+  with :data:`~repro.bench.baseline.BENCH_SCHEMA`.
+
+Every case is deterministic: a fixed seed, a fixed workload, a fixed
+op count.  Trials therefore differ only in wall time, which is what
+makes the relative spread across trials a usable noise estimate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import ScenarioJob
+from repro.experiments.schemes import Scheme
+from repro.experiments.workloads import CASE1_GROUPS, table1_flows
+from repro.sim.engine import Simulator
+from repro.traffic.sources import OnOffSource
+from repro.units import mbps, mbytes
+
+__all__ = ["BenchCase", "MACRO", "MICRO", "default_suite", "resolve_cases"]
+
+#: Case kinds.
+MACRO = "macro"
+MICRO = "micro"
+
+#: Simulated seconds for the macro cases (full / --quick).
+MACRO_SIM_TIME = 6.0
+MACRO_SIM_TIME_QUICK = 2.0
+
+#: Op counts for the engine micro cases (full / --quick).  Quick stays
+#: large enough (~tens of ms per trial) that one scheduler hiccup does
+#: not dominate the spread estimate.
+MICRO_OPS = 100_000
+MICRO_OPS_QUICK = 50_000
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named, content-addressed benchmark workload.
+
+    Exactly one of ``job`` (macro) or ``runner`` (micro) is set.  For
+    micro cases ``params`` is the canonical parameter dict the digest is
+    computed over; ``runner`` receives it and returns the number of
+    events processed.
+    """
+
+    name: str
+    kind: str
+    job: ScenarioJob | None = None
+    runner: Callable[[dict], int] | None = None
+    params: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (MACRO, MICRO):
+            raise ConfigurationError(f"unknown case kind {self.kind!r}")
+        if self.kind == MACRO and self.job is None:
+            raise ConfigurationError(f"macro case {self.name!r} needs a job")
+        if self.kind == MICRO and (self.runner is None or self.params is None):
+            raise ConfigurationError(
+                f"micro case {self.name!r} needs a runner and params"
+            )
+
+    def digest(self) -> str:
+        """Content digest tying a measurement to its exact workload."""
+        if self.job is not None:
+            return self.job.digest()
+        # Import here, not at module top: baseline.py imports nothing
+        # from this module, but keeping the schema tag single-sourced.
+        from repro.bench.baseline import BENCH_SCHEMA
+
+        canonical = json.dumps(
+            {"schema": BENCH_SCHEMA, "micro": self.name, "params": self.params},
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# -- macro cases ----------------------------------------------------------
+
+
+def _macro_job(scheme: Scheme, seed: int, sim_time: float, **kwargs) -> ScenarioJob:
+    return ScenarioJob.for_scenario(
+        table1_flows(),
+        scheme,
+        mbytes(1.0),
+        seed=seed,
+        sim_time=sim_time,
+        **kwargs,
+    )
+
+
+def _macro_cases(sim_time: float) -> list[BenchCase]:
+    """One scenario per scheme family, same definitions as the
+    equivalence goldens (``tests/data/equivalence_goldens.json``) so the
+    byte-identity tests and the throughput numbers cover the same runs."""
+    return [
+        BenchCase(
+            "fifo-threshold",
+            MACRO,
+            job=_macro_job(Scheme.FIFO_THRESHOLD, 11, sim_time),
+        ),
+        BenchCase(
+            "shared-headroom",
+            MACRO,
+            job=_macro_job(
+                Scheme.FIFO_SHARING, 12, sim_time, headroom=mbytes(0.5)
+            ),
+        ),
+        BenchCase(
+            "wfq-threshold",
+            MACRO,
+            job=_macro_job(
+                Scheme.WFQ_THRESHOLD, 13, sim_time, delay_histograms=True
+            ),
+        ),
+        BenchCase(
+            "hybrid-sharing",
+            MACRO,
+            job=_macro_job(
+                Scheme.HYBRID_SHARING,
+                14,
+                sim_time,
+                headroom=mbytes(0.5),
+                groups=CASE1_GROUPS,
+            ),
+        ),
+    ]
+
+
+# -- micro cases ----------------------------------------------------------
+
+
+def _run_event_chain(params: dict) -> int:
+    """Sequential self-scheduling events — the common simulation shape."""
+    n = params["n_events"]
+    sim = Simulator()
+
+    def hop() -> None:
+        if sim.events_processed < n:
+            sim.schedule_fast(0.001, hop)
+
+    sim.schedule_fast(0.0, hop)
+    sim.run()
+    return sim.events_processed
+
+
+def _run_preloaded(params: dict) -> int:
+    """Large pre-populated heap: stresses heap push/pop ordering."""
+    n = params["n_events"]
+    sim = Simulator()
+    noop = lambda: None  # noqa: E731 - a named def adds a frame per push
+    for i in range(n):
+        sim.schedule_fast(i * 0.001, noop)
+    sim.run()
+    return sim.events_processed
+
+
+def _run_cancellation(params: dict) -> int:
+    """Half the events cancelled: lazy deletion must stay cheap."""
+    n = params["n_events"]
+    sim = Simulator()
+    noop = lambda: None  # noqa: E731
+    events = [sim.schedule(i * 0.001, noop) for i in range(n)]
+    for event in events[::2]:
+        event.cancel()
+    sim.run()
+    return sim.events_processed
+
+
+class _CountingSink:
+    """Swallow packets, releasing each back to the freelist."""
+
+    __slots__ = ("packets",)
+
+    def __init__(self) -> None:
+        self.packets = 0
+
+    def receive(self, packet) -> None:
+        self.packets += 1
+        packet.release()
+
+
+def _run_onoff_batched(params: dict) -> int:
+    """A batched-RNG on-off source feeding a null sink.
+
+    Isolates the source emission path (freelist acquire + block RNG
+    draws + handle-free scheduling) from the port machinery.
+    """
+    sim = Simulator()
+    sink = _CountingSink()
+    OnOffSource(
+        sim,
+        flow_id=0,
+        peak_rate=mbps(48.0),
+        avg_rate=mbps(12.0),
+        mean_burst=16_000.0,
+        sink=sink,
+        rng=np.random.default_rng(params["seed"]),
+        until=params["sim_time"],
+        rng_batch=params["rng_batch"],
+    )
+    sim.run(until=params["sim_time"])
+    return sim.events_processed
+
+
+def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
+    return [
+        BenchCase(
+            "engine-chain",
+            MICRO,
+            runner=_run_event_chain,
+            params={"n_events": n_events},
+        ),
+        BenchCase(
+            "engine-preloaded",
+            MICRO,
+            runner=_run_preloaded,
+            params={"n_events": n_events},
+        ),
+        BenchCase(
+            "engine-cancel",
+            MICRO,
+            runner=_run_cancellation,
+            params={"n_events": n_events},
+        ),
+        BenchCase(
+            "onoff-batched",
+            MICRO,
+            runner=_run_onoff_batched,
+            params={"seed": 7, "sim_time": source_time, "rng_batch": 256},
+        ),
+    ]
+
+
+# -- assembly -------------------------------------------------------------
+
+
+def default_suite(quick: bool = False) -> list[BenchCase]:
+    """The curated suite: four macro + four micro cases.
+
+    ``quick`` shrinks sim time and op counts for CI-class machines; the
+    case *digests* change with it, so quick and full baselines never
+    cross-compare silently.
+    """
+    if quick:
+        return _macro_cases(MACRO_SIM_TIME_QUICK) + _micro_cases(
+            MICRO_OPS_QUICK, 10.0
+        )
+    return _macro_cases(MACRO_SIM_TIME) + _micro_cases(MICRO_OPS, 40.0)
+
+
+def resolve_cases(names: list[str] | None, quick: bool = False) -> list[BenchCase]:
+    """Select cases by name from the default suite (None = all)."""
+    suite = default_suite(quick=quick)
+    if names is None:
+        return suite
+    by_name = {case.name: case for case in suite}
+    unknown = [n for n in names if n not in by_name]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown bench cases: {unknown}; available: {sorted(by_name)}"
+        )
+    return [by_name[n] for n in names]

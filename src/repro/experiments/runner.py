@@ -136,7 +136,11 @@ def run_scenario(
         sim, scheme, flows, buffer_size, link_rate, headroom=headroom, groups=groups
     )
     collector = StatsCollector(warmup=warmup, delay_histograms=delay_histograms)
-    port = OutputPort(sim, link_rate, build.scheduler, build.manager, collector)
+    # The scenario pipeline is closed (no downstream, nothing retains
+    # packets after the port is done), so packet recycling is safe.
+    port = OutputPort(
+        sim, link_rate, build.scheduler, build.manager, collector, recycle=True
+    )
     if sink is not None:
         port.attach_trace(sink)
     if registry is not None:

@@ -1,9 +1,13 @@
 """Discrete-event simulation engine.
 
 A deliberately small, fast core: a binary heap of ``(time, sequence,
-callback, args)`` entries.  The sequence number breaks ties so that events
-scheduled for the same instant fire in scheduling order, which makes runs
-deterministic for a given seed.
+callback, args, handle)`` entries.  The sequence number breaks ties so
+that events scheduled for the same instant fire in scheduling order,
+which makes runs deterministic for a given seed.  The ``handle`` slot is
+an :class:`Event` for cancellable events and ``None`` for events
+scheduled through the :meth:`Simulator.schedule_fast` hot path — the
+per-packet traffic of a simulation never cancels, so it never pays for
+the allocation of a cancellation handle.
 
 Components (sources, shapers, ports) hold a reference to the
 :class:`Simulator` and schedule their own callbacks; there is no global
@@ -13,6 +17,7 @@ registry.  The engine knows nothing about packets or networking.
 from __future__ import annotations
 
 import heapq
+from math import inf
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -28,7 +33,9 @@ class Event:
     the only supported operation is :meth:`cancel`.  Cancelled events stay
     in the heap but are skipped when popped (lazy deletion); the simulator
     purges them wholesale once they dominate the heap (see
-    :meth:`Simulator._compact`).
+    :meth:`Simulator._compact`).  Events scheduled via
+    :meth:`Simulator.schedule_fast` have no handle and cannot be
+    cancelled.
     """
 
     __slots__ = ("time", "fn", "args", "cancelled", "_sim")
@@ -64,6 +71,10 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1.0, callback, arg1, arg2)
         sim.run(until=10.0)
+
+    Hot paths that never cancel (per-packet emissions, transmission
+    completions) should use :meth:`schedule_fast`, which skips the
+    :class:`Event` handle allocation entirely.
     """
 
     __slots__ = (
@@ -82,7 +93,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._cancelled: int = 0
@@ -152,7 +163,10 @@ class Simulator:
         a cancel can arrive from a callback mid-loop.
         """
         before = len(self._heap)
-        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        self._heap[:] = [
+            entry for entry in self._heap
+            if entry[4] is None or not entry[4].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled = 0
         self._compactions += 1
@@ -177,26 +191,57 @@ class Simulator:
             )
         event = Event(time, fn, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, event))
+        heapq.heappush(self._heap, (time, self._seq, fn, args, event))
         return event
+
+    def schedule_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now, uncancellably.
+
+        The hot-path twin of :meth:`schedule`: no :class:`Event` handle is
+        allocated, so the caller gets nothing back and the event cannot be
+        cancelled.  Firing order relative to :meth:`schedule` is identical
+        (one shared sequence counter), which keeps runs byte-identical
+        whichever entry point a component uses.
+        """
+        time = self.now + delay
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args, None))
+
+    def _pop_live(self) -> tuple | None:
+        """Pop heap entries until a live one is found.
+
+        Shared drain used by :meth:`step` and the :meth:`run` slow path:
+        cancelled entries are discarded (rebalancing the
+        ``cancelled_pending`` counter) and the first live entry is
+        returned un-fired, or ``None`` when the heap empties.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            event = entry[4]
+            if event is not None and event.cancelled:
+                if self._cancelled:
+                    self._cancelled -= 1
+                continue
+            return entry
+        return None
 
     def step(self) -> bool:
         """Fire the next pending event.
 
         Returns ``False`` when the heap is empty, ``True`` otherwise.
         """
-        heap = self._heap
-        while heap:
-            time, _seq, event = heapq.heappop(heap)
-            if event.cancelled:
-                if self._cancelled:
-                    self._cancelled -= 1
-                continue
-            self.now = time
-            self._events_processed += 1
-            event.fn(*event.args)
-            return True
-        return False
+        entry = self._pop_live()
+        if entry is None:
+            return False
+        self.now = entry[0]
+        self._events_processed += 1
+        entry[2](*entry[3])
+        return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run the event loop.
@@ -207,24 +252,34 @@ class Simulator:
                 ``None`` runs until the heap drains.
             max_events: optional safety valve for tests; raises
                 :class:`SimulationError` when exceeded.
+
+        The loop pops each entry exactly once.  An entry beyond ``until``
+        (at most one per call) is pushed back with its original
+        ``(time, seq)`` key, so firing order across resumed runs is
+        unchanged.  Handle-free entries (:meth:`schedule_fast`) skip the
+        cancelled-event branch entirely.
         """
         heap = self._heap
+        heappop = heapq.heappop
+        stop = inf if until is None else until
+        limit = inf if max_events is None else max_events
         fired = 0
         while heap:
-            time, _seq, event = heap[0]
-            if event.cancelled:
-                heapq.heappop(heap)
+            entry = heappop(heap)
+            event = entry[4]
+            if event is not None and event.cancelled:
                 if self._cancelled:
                     self._cancelled -= 1
                 continue
-            if until is not None and time > until:
+            time = entry[0]
+            if time > stop:
+                heapq.heappush(heap, entry)
                 break
-            heapq.heappop(heap)
             self.now = time
             self._events_processed += 1
-            event.fn(*event.args)
+            entry[2](*entry[3])
             fired += 1
-            if max_events is not None and fired > max_events:
+            if fired > limit:
                 raise SimulationError(f"exceeded max_events={max_events}")
         if until is not None and self.now < until:
             self.now = until

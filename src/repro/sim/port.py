@@ -42,6 +42,13 @@ class OutputPort:
         downstream: optional next hop with a ``receive(packet)`` method;
             transmitted packets are handed to it, which is how multi-node
             topologies (:mod:`repro.net`) are chained.
+        recycle: return packets to the :class:`Packet` freelist once the
+            port is done with them (on drop, and after transmission when
+            there is no downstream hop).  Only safe when nothing outside
+            the port retains packet references — the closed
+            ``run_scenario`` pipeline qualifies; callers that inspect
+            packets afterwards (tests, custom topologies) must not enable
+            it.
     """
 
     __slots__ = (
@@ -51,6 +58,7 @@ class OutputPort:
         "manager",
         "collector",
         "downstream",
+        "recycle",
         "busy",
         "_in_service",
         "admitted_packets",
@@ -67,6 +75,7 @@ class OutputPort:
         manager,
         collector: StatsCollector | None = None,
         downstream=None,
+        recycle: bool = False,
     ) -> None:
         if rate <= 0:
             raise ConfigurationError(f"link rate must be positive, got {rate}")
@@ -76,6 +85,7 @@ class OutputPort:
         self.manager = manager
         self.collector = collector
         self.downstream = downstream
+        self.recycle = recycle
         self.busy = False
         self._in_service: Packet | None = None
         self.admitted_packets = 0
@@ -140,6 +150,8 @@ class OutputPort:
                         reason=self._drop_reason(packet),
                     )
                 )
+            if self.recycle:
+                packet.release()
             return False
         packet.enqueued = now
         self.admitted_packets += 1
@@ -156,7 +168,9 @@ class OutputPort:
             return
         self.busy = True
         self._in_service = packet
-        self.sim.schedule(packet.size / self.rate, self._finish_transmission, packet)
+        self.sim.schedule_fast(
+            packet.size / self.rate, self._finish_transmission, packet
+        )
 
     def _finish_transmission(self, packet: Packet) -> None:
         now = self.sim.now
@@ -185,6 +199,8 @@ class OutputPort:
                 )
         if self.downstream is not None:
             self.downstream.receive(packet)
+        elif self.recycle:
+            packet.release()
         self._start_transmission()
 
     @property

@@ -97,7 +97,9 @@ class LeakyBucketShaper:
         deficit = self._queue[0].size - self._tokens
         delay = max(deficit, 0.0) / self.rho
         self._release_pending = True
-        self.sim.schedule(delay, self._release)
+        # Releases are gated by _release_pending, never cancelled, so the
+        # handle-free scheduling path is safe.
+        self.sim.schedule_fast(delay, self._release)
 
     def _release(self) -> None:
         self._release_pending = False

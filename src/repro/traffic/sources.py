@@ -11,6 +11,12 @@ All sources emit :class:`repro.sim.packet.Packet` objects into a ``sink``
   "greedy" flow of Example 1 that always keeps its buffer share full.
 * :class:`TraceSource` — replays an explicit (time, size) schedule;
   handy for deterministic tests.
+
+Sources schedule their per-packet callbacks through
+:meth:`~repro.sim.engine.Simulator.schedule_fast` (emissions are never
+cancelled) and draw packets from the :class:`Packet` freelist, so the
+steady-state emission path allocates no event handles and, in recycling
+pipelines, no packet objects.
 """
 
 from __future__ import annotations
@@ -52,6 +58,14 @@ class OnOffSource:
         packet_size: bytes per packet.
         start: time of the first burst decision.
         until: stop emitting at this time (None = never stop).
+        rng_batch: when set (>= 1), pre-draw burst lengths and OFF gaps
+            in vectorised blocks of this size from two child streams
+            spawned off ``rng``.  The batched stream is deterministic
+            given the seed and *independent of the block size* (blocks
+            refill per distribution from dedicated child generators), but
+            it is a different stream than the default scalar draws —
+            the default ``None`` preserves the legacy per-call draws
+            byte-for-byte.
     """
 
     def __init__(
@@ -66,6 +80,7 @@ class OnOffSource:
         packet_size: float = DEFAULT_PACKET_SIZE,
         start: float = 0.0,
         until: float | None = None,
+        rng_batch: int | None = None,
     ) -> None:
         if not 0 < avg_rate <= peak_rate:
             raise ConfigurationError(
@@ -75,6 +90,8 @@ class OnOffSource:
             raise ConfigurationError(
                 f"mean burst {mean_burst} smaller than one packet ({packet_size})"
             )
+        if rng_batch is not None and rng_batch < 1:
+            raise ConfigurationError(f"rng_batch must be >= 1, got {rng_batch}")
         self.sim = sim
         self.flow_id = flow_id
         self.peak_rate = float(peak_rate)
@@ -88,14 +105,52 @@ class OnOffSource:
         self.emitted_bytes = 0.0
         self._spacing = self.packet_size / self.peak_rate
         self._mean_burst_packets = self.mean_burst / self.packet_size
+        # Geometric number of packets with mean mean_burst_packets (>= 1).
+        self._burst_p = min(1.0, 1.0 / max(self._mean_burst_packets, 1.0))
         mean_on = self.mean_burst / self.peak_rate
         self._mean_off = mean_on * (self.peak_rate / self.avg_rate - 1.0)
+        self._batch = rng_batch
+        if rng_batch is not None:
+            # Dedicated child streams per distribution: refilling one
+            # block never shifts the other stream, which is what makes
+            # the batched draws independent of the block size.
+            self._burst_rng, self._off_rng = rng.spawn(2)
+            self._bursts: np.ndarray = np.empty(0, dtype=np.int64)
+            self._burst_i = 0
+            self._offs: np.ndarray = np.empty(0)
+            self._off_i = 0
         # Randomise the initial phase so simultaneous sources do not
         # synchronise their first bursts.
         initial_delay = 0.0
         if self._mean_off > 0:
-            initial_delay = float(rng.exponential(self._mean_off))
+            initial_delay = self._next_off()
         sim.schedule_at(start + initial_delay, self._begin_burst)
+
+    # -- random draws -----------------------------------------------------
+
+    def _next_burst_packets(self) -> int:
+        """Next ON-period length in packets (geometric, mean >= 1)."""
+        if self._batch is None:
+            return int(self.rng.geometric(self._burst_p))
+        if self._burst_i >= len(self._bursts):
+            self._bursts = self._burst_rng.geometric(self._burst_p, size=self._batch)
+            self._burst_i = 0
+        value = self._bursts[self._burst_i]
+        self._burst_i += 1
+        return int(value)
+
+    def _next_off(self) -> float:
+        """Next OFF-period duration in seconds (exponential)."""
+        if self._batch is None:
+            return float(self.rng.exponential(self._mean_off))
+        if self._off_i >= len(self._offs):
+            self._offs = self._off_rng.exponential(self._mean_off, size=self._batch)
+            self._off_i = 0
+        value = self._offs[self._off_i]
+        self._off_i += 1
+        return float(value)
+
+    # -- emission ---------------------------------------------------------
 
     def _stopped(self) -> bool:
         return self.until is not None and self.sim.now >= self.until
@@ -103,28 +158,25 @@ class OnOffSource:
     def _begin_burst(self) -> None:
         if self._stopped():
             return
-        # Geometric number of packets with mean mean_burst_packets (>= 1).
-        p = min(1.0, 1.0 / max(self._mean_burst_packets, 1.0))
-        remaining = int(self.rng.geometric(p))
-        self._emit(remaining)
+        self._emit(self._next_burst_packets())
 
     def _emit(self, remaining: int) -> None:
         if self._stopped():
             return
-        packet = Packet(self.flow_id, self.packet_size, self.sim.now)
+        packet = Packet.acquire(self.flow_id, self.packet_size, self.sim.now)
         self.emitted_packets += 1
         self.emitted_bytes += packet.size
         self.sink.receive(packet)
         if remaining > 1:
-            self.sim.schedule(self._spacing, self._emit, remaining - 1)
+            self.sim.schedule_fast(self._spacing, self._emit, remaining - 1)
         else:
             # The last packet of the burst "occupies" one spacing at peak
             # rate before the OFF period starts, so the ON-state rate is
             # exactly the peak rate.
             off = self._spacing
             if self._mean_off > 0:
-                off += float(self.rng.exponential(self._mean_off))
-            self.sim.schedule(off, self._begin_burst)
+                off += self._next_off()
+            self.sim.schedule_fast(off, self._begin_burst)
 
 
 class CBRSource:
@@ -156,11 +208,11 @@ class CBRSource:
     def _emit(self) -> None:
         if self.until is not None and self.sim.now >= self.until:
             return
-        packet = Packet(self.flow_id, self.packet_size, self.sim.now)
+        packet = Packet.acquire(self.flow_id, self.packet_size, self.sim.now)
         self.emitted_packets += 1
         self.emitted_bytes += packet.size
         self.sink.receive(packet)
-        self.sim.schedule(self._spacing, self._emit)
+        self.sim.schedule_fast(self._spacing, self._emit)
 
 
 class GreedySource(CBRSource):
@@ -214,7 +266,7 @@ class TraceSource:
             sim.schedule_at(time, self._emit, size)
 
     def _emit(self, size: float) -> None:
-        packet = Packet(self.flow_id, size, self.sim.now)
+        packet = Packet.acquire(self.flow_id, size, self.sim.now)
         self.emitted_packets += 1
         self.emitted_bytes += size
         self.sink.receive(packet)

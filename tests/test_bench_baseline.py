@@ -1,0 +1,116 @@
+"""Baseline files: schema tagging, integrity digest, atomic persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.baseline import (
+    BENCH_SCHEMA,
+    BenchBaseline,
+    baseline_filename,
+    default_host_tag,
+)
+from repro.bench.measure import CaseResult
+from repro.errors import ConfigurationError
+
+
+def _case(name="c", wall=(0.5, 0.6), digest="abc", events=100):
+    return CaseResult(
+        name=name,
+        kind="micro",
+        digest=digest,
+        events=events,
+        packets=None,
+        wall_times=tuple(wall),
+        peak_rss_bytes=1024,
+    )
+
+
+def _baseline(*cases, host_tag="test-host"):
+    return BenchBaseline(
+        host_tag=host_tag,
+        python="3.11.0",
+        platform="Linux-x86_64",
+        cases=cases or (_case(),),
+    )
+
+
+class TestHostTag:
+    def test_default_host_tag_is_os_arch_python(self):
+        tag = default_host_tag()
+        assert "-py" in tag
+        # Only filename-safe characters survive sanitising.
+        assert baseline_filename(tag) == f"BENCH_{tag}.json"
+
+    def test_filename_sanitises_hostile_tags(self):
+        assert baseline_filename("a/b c!") == "BENCH_a-b-c.json"
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            baseline_filename("///")
+
+
+class TestBaselineIntegrity:
+    def test_round_trips_through_disk(self, tmp_path):
+        baseline = _baseline(_case("one"), _case("two", digest="def"))
+        path = baseline.write(tmp_path)
+        assert path.name == "BENCH_test-host.json"
+        assert BenchBaseline.load(path) == baseline
+
+    def test_schema_tag_is_stamped(self, tmp_path):
+        path = _baseline().write(tmp_path)
+        raw = json.loads(path.read_text())
+        assert raw["schema"] == BENCH_SCHEMA
+        assert raw["digest"] == _baseline().digest()
+
+    def test_digest_covers_the_measurements(self):
+        slow = _baseline(_case(wall=(1.0,)))
+        fast = _baseline(_case(wall=(0.5,)))
+        assert slow.digest() != fast.digest()
+
+    def test_hand_edited_file_fails_integrity_check(self, tmp_path):
+        path = _baseline().write(tmp_path)
+        raw = json.loads(path.read_text())
+        raw["cases"]["c"]["wall_times"] = [0.001]
+        path.write_text(json.dumps(raw))
+        with pytest.raises(ConfigurationError, match="integrity"):
+            BenchBaseline.load(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = _baseline().write(tmp_path)
+        raw = json.loads(path.read_text())
+        raw["schema"] = "repro-bench-v0"
+        path.write_text(json.dumps(raw))
+        with pytest.raises(ConfigurationError, match="schema"):
+            BenchBaseline.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            BenchBaseline.load(tmp_path / "BENCH_nope.json")
+
+    def test_garbage_json_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            BenchBaseline.load(path)
+
+    def test_non_object_json_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_list.json"
+        path.write_text("[]")
+        with pytest.raises(ConfigurationError, match="not a JSON object"):
+            BenchBaseline.load(path)
+
+    def test_no_torn_tmp_files_left_behind(self, tmp_path):
+        _baseline().write(tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_test-host.json"]
+
+    def test_duplicate_case_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            _baseline(_case("same"), _case("same"))
+
+    def test_case_lookup(self):
+        baseline = _baseline(_case("one"), _case("two", digest="def"))
+        assert baseline.case("two").digest == "def"
+        assert baseline.case("absent") is None

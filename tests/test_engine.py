@@ -218,3 +218,100 @@ class TestStep:
         sim.schedule(2.0, fired.append, "b")
         assert sim.step()
         assert fired == ["b"]
+
+
+class TestScheduleFast:
+    """The handle-free hot path: same ordering, no Event allocation."""
+
+    def test_returns_no_handle(self):
+        sim = Simulator()
+        assert sim.schedule_fast(1.0, lambda: None) is None
+
+    def test_fires_with_args(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_fast(1.0, seen.append, "x")
+        sim.run()
+        assert seen == ["x"]
+        assert sim.now == 1.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_fast(-0.1, lambda: None)
+
+    def test_ties_break_in_scheduling_order_across_both_apis(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule_fast(1.0, order.append, "b")
+        sim.schedule(1.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_counts_toward_pending_and_processed(self):
+        sim = Simulator()
+        sim.schedule_fast(1.0, lambda: None)
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 1
+
+    def test_max_events_budget_still_enforced(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule_fast(0.1, loop)
+
+        sim.schedule_fast(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestRunAccounting:
+    """run() keeps the pending/cancelled books exactly like step() did."""
+
+    def test_cancelled_pending_drained_by_run(self):
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(i * 0.1, fired.append, i) for i in range(10)]
+        for event in events[::2]:
+            event.cancel()
+        assert sim.cancelled_pending == 5
+        assert sim.pending == 10
+        sim.run()
+        assert fired == [1, 3, 5, 7, 9]
+        assert sim.cancelled_pending == 0
+        assert sim.pending == 0
+
+    def test_cancelled_event_beyond_until_still_drained(self):
+        # Legacy semantics: the drain happens when the cancelled entry
+        # reaches the top of the heap, even past the `until` horizon.
+        sim = Simulator()
+        live = []
+        sim.schedule(5.0, live.append, "late").cancel()
+        sim.run(until=1.0)
+        assert sim.cancelled_pending == 0
+        assert sim.pending == 0
+        assert live == []
+
+    def test_live_event_beyond_until_survives(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.run(until=1.0)
+        assert sim.now == 1.0
+        assert fired == []
+        assert sim.pending == 1
+        sim.run()
+        assert fired == ["late"]
+        assert sim.now == 5.0
+
+    def test_callbacks_see_live_event_counter(self):
+        # Callbacks may read events_processed mid-run (the micro
+        # benchmarks do); the fast loop must not batch the updates.
+        sim = Simulator()
+        seen = []
+        for i in range(3):
+            sim.schedule_fast(float(i), lambda: seen.append(sim.events_processed))
+        sim.run()
+        assert seen == [1, 2, 3]

@@ -140,3 +140,92 @@ class TestWarmupAccounting:
         sim.run()
         assert collector.flows[0].departed_packets == 1
         assert collector.flows[0].offered_packets == 0
+
+
+class TestRecycleMode:
+    """recycle=True returns port-owned packets to the freelist."""
+
+    @staticmethod
+    def _recycling_port(rate=1000.0, capacity=1_000.0):
+        sim = Simulator()
+        collector = StatsCollector(warmup=0.0)
+        port = OutputPort(
+            sim,
+            rate,
+            FIFOScheduler(),
+            TailDropManager(capacity),
+            collector,
+            recycle=True,
+        )
+        return sim, port, collector
+
+    def test_default_is_no_recycling(self):
+        _, port, _ = make_port()
+        assert port.recycle is False
+
+    def test_transmitted_packet_returns_to_freelist(self):
+        sim, port, _ = self._recycling_port()
+        packet = Packet.acquire(0, 500.0, 0.0)
+        port.receive(packet)
+        sim.run()
+        assert Packet.acquire(1, 500.0, 1.0) is packet
+
+    def test_dropped_packet_returns_to_freelist(self):
+        sim, port, _ = self._recycling_port(capacity=500.0)
+        port.receive(Packet.acquire(0, 500.0, 0.0))  # fills the buffer
+        overflow = Packet.acquire(1, 500.0, 0.0)
+        assert not port.receive(overflow)
+        assert Packet.acquire(2, 500.0, 0.0) is overflow
+
+    def test_downstream_hop_keeps_ownership(self):
+        # With a downstream, the packet is handed on, not recycled.
+        sim = Simulator()
+        received = []
+
+        class Hop:
+            def receive(self, packet):
+                received.append(packet)
+
+        port = OutputPort(
+            sim,
+            1000.0,
+            FIFOScheduler(),
+            TailDropManager(10_000.0),
+            downstream=Hop(),
+            recycle=True,
+        )
+        packet = Packet.acquire(0, 500.0, 0.0)
+        port.receive(packet)
+        sim.run()
+        assert received == [packet]
+        assert Packet.acquire(1, 500.0, 1.0) is not packet
+
+    def test_accounting_identical_with_and_without_recycling(self):
+        def drive(recycle):
+            sim = Simulator()
+            collector = StatsCollector(warmup=0.0)
+            port = OutputPort(
+                sim,
+                1000.0,
+                FIFOScheduler(),
+                TailDropManager(1_000.0),
+                collector,
+                recycle=recycle,
+            )
+            for i in range(8):
+                sim.schedule(
+                    i * 0.1,
+                    lambda i=i: port.receive(Packet.acquire(0, 500.0, sim.now)),
+                )
+            sim.run()
+            stats = collector.flows[0]
+            return (
+                port.admitted_packets,
+                port.dropped_packets,
+                port.transmitted_packets,
+                stats.offered_packets,
+                stats.dropped_packets,
+                stats.departed_packets,
+            )
+
+        assert drive(recycle=True) == drive(recycle=False)
