@@ -19,6 +19,9 @@ Usage::
     python -m repro bench run --quick   # measure the benchmark suite
     python -m repro bench compare --baseline benchmarks/baselines
     python -m repro bench update-baseline
+
+    python -m repro net demo            # 3-hop tandem with flow churn
+    python -m repro net demo --hops 5 --seed 3 --no-churn
 """
 
 from __future__ import annotations
@@ -49,16 +52,16 @@ def build_parser() -> argparse.ArgumentParser:
             "figure to run (figure1..figure13), 'all', 'list', 'run' "
             "with --spec for declarative scenarios, 'campaign' with an "
             "action (run/status/clear-cache), 'obs' with an action "
-            "(trace/report), or 'bench' with an action "
-            "(run/compare/update-baseline)"
+            "(trace/report), 'bench' with an action "
+            "(run/compare/update-baseline), or 'net' with an action (demo)"
         ),
     )
     parser.add_argument(
         "action",
         nargs="?",
         default=None,
-        help="campaign action (run, status, clear-cache) or obs action "
-        "(trace, report)",
+        help="campaign action (run, status, clear-cache), obs action "
+        "(trace, report), or net action (demo)",
     )
     parser.add_argument(
         "--spec",
@@ -128,6 +131,23 @@ def build_parser() -> argparse.ArgumentParser:
         "enqueue, drop, depart (repeatable)",
     )
     parser.add_argument(
+        "--hops",
+        type=int,
+        default=3,
+        help="tandem length for 'net demo' (default 3)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed for 'net demo' (default 0)",
+    )
+    parser.add_argument(
+        "--no-churn",
+        action="store_true",
+        help="disable the dynamic-flow population in 'net demo'",
+    )
+    parser.add_argument(
         "--since",
         type=float,
         default=None,
@@ -165,22 +185,52 @@ def run_target(
         (out / f"{name}.txt").write_text(text + "\n")
 
 
+def _print_campaign_stats(runner: CampaignRunner | None) -> None:
+    if runner is not None and runner.last_stats is not None:
+        stats = runner.last_stats
+        print(
+            f"[campaign: {stats.submitted} jobs, {stats.unique} unique, "
+            f"{stats.cache_hits} cached, {stats.executed} executed]"
+        )
+
+
+def _run_network_spec_file(spec, runner: CampaignRunner | None) -> None:
+    from repro.experiments.report import format_table
+    from repro.experiments.spec import run_network_spec
+
+    scenario = spec.scenario
+    shape = f"{len(scenario.nodes)} nodes, {len(scenario.links)} links"
+    if scenario.churn is not None:
+        shape += ", churn"
+    print(f"{spec.name} [network: {shape}]")
+    rows = []
+    for seed, record in zip(spec.seeds, run_network_spec(spec, runner=runner)):
+        delivered = sum(record.delivery_packets.values())
+        blocking = (
+            "-" if record.churn is None else f"{record.blocking_probability():.3f}"
+        )
+        rows.append(
+            [str(seed), str(record.events_processed), str(delivered), blocking]
+        )
+    print(format_table(["seed", "events", "delivered pkts", "blocking"], rows))
+    _print_campaign_stats(runner)
+    print()
+
+
 def run_spec_file(path: pathlib.Path, runner: CampaignRunner | None = None) -> None:
     from repro import units
     from repro.experiments.report import format_table
-    from repro.experiments.spec import load_specs, run_spec
+    from repro.experiments.spec import NetworkSpec, load_specs, run_spec
 
     for spec in load_specs(path):
+        if isinstance(spec, NetworkSpec):
+            _run_network_spec_file(spec, runner)
+            continue
         results = run_spec(spec, runner=runner)
         rows = [[label, str(value)] for label, value in results.items()]
         print(f"{spec.name} [{spec.scheme.value}, B = {units.to_mbytes(spec.buffer_bytes):g} MB]")
         print(format_table(["metric", "mean ± 95% CI"], rows))
-        if runner is not None and runner.last_stats is not None:
-            stats = runner.last_stats
-            print(
-                f"[campaign: {stats.submitted} jobs, {stats.unique} unique, "
-                f"{stats.cache_hits} cached, {stats.executed} executed]"
-            )
+        _print_campaign_stats(runner)
         print()
 
 
@@ -305,6 +355,90 @@ def run_obs(args: argparse.Namespace) -> int:
     return 2
 
 
+def run_net(args: argparse.Namespace) -> int:
+    from repro.experiments.fabric import run_fabric
+    from repro.experiments.fabric.demo import TARGET_FLOW_ID, demo_tandem
+    from repro.experiments.report import format_table
+    from repro.units import to_millis
+
+    if args.action != "demo":
+        print(f"unknown net action {args.action!r}; use demo", file=sys.stderr)
+        return 2
+    if args.hops < 1:
+        print("'net demo' needs --hops >= 1", file=sys.stderr)
+        return 2
+    scenario = demo_tandem(hops=args.hops, seed=args.seed, churn=not args.no_churn)
+    result = run_fabric(scenario)
+
+    print(
+        f"tandem demo: {args.hops} hop(s), seed {args.seed}, "
+        f"{scenario.sim_time:g} s simulated, "
+        f"{result.events_processed} events"
+    )
+    print()
+    rows = []
+    for link in scenario.links:
+        stats = result.links[link.label].flow_stats
+        offered = sum(s.offered_packets for s in stats.values())
+        dropped = sum(s.dropped_packets for s in stats.values())
+        departed = sum(s.departed_packets for s in stats.values())
+        target = stats.get(TARGET_FLOW_ID)
+        rows.append(
+            [
+                link.label,
+                str(offered),
+                str(dropped),
+                str(departed),
+                f"{100.0 * dropped / offered:.2f}" if offered else "0.00",
+                str(0 if target is None else target.dropped_packets),
+            ]
+        )
+    print("per-hop drops (measurement window):")
+    print(
+        format_table(
+            ["link", "offered", "dropped", "departed", "drop %", f"flow {TARGET_FLOW_ID} drops"],
+            rows,
+        )
+    )
+    print()
+
+    delivered = result.delivery_collector.flows.get(TARGET_FLOW_ID)
+    print(f"end-to-end, target flow {TARGET_FLOW_ID} (conformant):")
+    if delivered is None or delivered.departed_packets == 0:
+        print("  no packets delivered in the measurement window")
+    else:
+        quantiles = "  ".join(
+            f"p{q:g} {to_millis(result.end_to_end_percentile(TARGET_FLOW_ID, q)):.2f} ms"
+            for q in (50, 95, 99)
+        )
+        print(
+            f"  {delivered.departed_packets} packets delivered, "
+            f"mean {to_millis(delivered.mean_delay):.2f} ms, {quantiles}, "
+            f"max {to_millis(delivered.delay_max):.2f} ms"
+        )
+    print()
+
+    if result.churn is not None:
+        report = result.churn
+        print(
+            f"churn: {report.arrivals} arrivals, {report.accepted} accepted, "
+            f"{report.blocked} blocked "
+            f"({report.blocked_bandwidth} bandwidth-limited / "
+            f"{report.blocked_buffer} buffer-limited), "
+            f"blocking probability {report.blocking_probability:.3f}"
+        )
+        for node, reasons in sorted(report.per_node.items()):
+            detail = ", ".join(
+                f"{reason}: {count}" for reason, count in sorted(reasons.items())
+            )
+            print(f"  blocked at {node}: {detail}")
+        print(
+            f"  {report.departures} departed, "
+            f"{report.active_at_end} still active at end"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -320,6 +454,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_campaign(args)
     if args.target == "obs":
         return run_obs(args)
+    if args.target == "net":
+        return run_net(args)
     if args.target == "run":
         if args.spec is None:
             print("the 'run' target requires --spec <file.json>", file=sys.stderr)

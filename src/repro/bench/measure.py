@@ -30,7 +30,8 @@ from typing import Sequence
 
 from repro.bench.suite import MACRO, BenchCase
 from repro.errors import ConfigurationError, SimulationError
-from repro.experiments.campaign import ScenarioRecord
+from repro.experiments.campaign import NetworkJob, NetworkRecord, ScenarioRecord
+from repro.experiments.fabric import run_fabric
 from repro.experiments.runner import run_scenario
 
 __all__ = ["CaseResult", "measure_case", "run_suite"]
@@ -123,6 +124,14 @@ def _run_macro(case: BenchCase) -> tuple[int, int]:
     job = case.job
     if job is None:  # BenchCase.__post_init__ guarantees this for macro
         raise ConfigurationError(f"macro case {case.name!r} has no job")
+    if isinstance(job, NetworkJob):
+        record = NetworkRecord.from_result(run_fabric(job.scenario), case.digest())
+        packets = sum(
+            fs.offered_packets
+            for link in record.links.values()
+            for fs in link.flow_stats.values()
+        )
+        return record.events_processed, packets
     result = run_scenario(
         list(job.flows), job.scheme, job.buffer_size, **job.scenario_kwargs()
     )

@@ -4,16 +4,20 @@ Two kinds of cases:
 
 * **Macro** cases run one full scenario per scheme family (FIFO with
   static thresholds, FIFO with shared headroom, WFQ with thresholds, and
-  the hybrid grouped scheme) on the paper's Table 1 workload.  Each
-  wraps a campaign :class:`~repro.experiments.campaign.ScenarioJob`, so
-  the case digest *is* the job's content digest — a baseline is tied to
-  the exact scenario it measured, and any change to the workload, the
-  scheme parameters, or the job schema invalidates the comparison
-  instead of silently measuring something else.
+  the hybrid grouped scheme) on the paper's Table 1 workload, plus the
+  reference three-hop tandem with flow churn through the scenario
+  fabric.  Each wraps a campaign job
+  (:class:`~repro.experiments.campaign.ScenarioJob` or
+  :class:`~repro.experiments.campaign.NetworkJob`), so the case digest
+  *is* the job's content digest — a baseline is tied to the exact
+  scenario it measured, and any change to the workload, the scheme
+  parameters, or the job schema invalidates the comparison instead of
+  silently measuring something else.
 * **Micro** cases mirror the pytest-benchmark engine workloads (event
   chain, preloaded heap, cancellation drain) plus a batched-RNG source
-  workload.  They are digested over their canonical parameters tagged
-  with :data:`~repro.bench.baseline.BENCH_SCHEMA`.
+  workload and an admission-dominated churn workload.  They are
+  digested over their canonical parameters tagged with
+  :data:`~repro.bench.baseline.BENCH_SCHEMA`.
 
 Every case is deterministic: a fixed seed, a fixed workload, a fixed
 op count.  Trials therefore differ only in wall time, which is what
@@ -30,12 +34,21 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.experiments.campaign import ScenarioJob
+from repro.experiments.campaign import NetworkJob, ScenarioJob
+from repro.experiments.fabric import (
+    ChurnSpec,
+    LinkSpec,
+    NetworkScenario,
+    NodeSpec,
+    run_fabric,
+)
+from repro.experiments.fabric.demo import demo_tandem
 from repro.experiments.schemes import Scheme
 from repro.experiments.workloads import CASE1_GROUPS, table1_flows
 from repro.sim.engine import Simulator
+from repro.traffic.profiles import FlowSpec
 from repro.traffic.sources import OnOffSource
-from repro.units import mbps, mbytes
+from repro.units import kbytes, mbps, mbytes
 
 __all__ = ["BenchCase", "MACRO", "MICRO", "default_suite", "resolve_cases"]
 
@@ -66,7 +79,7 @@ class BenchCase:
 
     name: str
     kind: str
-    job: ScenarioJob | None = None
+    job: ScenarioJob | NetworkJob | None = None
     runner: Callable[[dict], int] | None = None
     params: dict | None = None
 
@@ -144,6 +157,13 @@ def _macro_cases(sim_time: float) -> list[BenchCase]:
                 sim_time,
                 headroom=mbytes(0.5),
                 groups=CASE1_GROUPS,
+            ),
+        ),
+        BenchCase(
+            "tandem-3hop",
+            MACRO,
+            job=NetworkJob(
+                demo_tandem(hops=3, seed=15, sim_time=sim_time, churn=True)
             ),
         ),
     ]
@@ -225,6 +245,47 @@ def _run_onoff_batched(params: dict) -> int:
     return sim.events_processed
 
 
+def _run_churn(params: dict) -> int:
+    """Admission-dominated flow churn over a two-hop tandem.
+
+    No static flows: every event is either churn machinery (arrival
+    draws, route-wide admission checks, threshold bookkeeping,
+    departures) or traffic from the short-lived accepted flows.  The
+    arrival rate is set well above what the region can hold so the
+    reject path — the hot path under overload — dominates.
+    """
+    nodes = (
+        NodeSpec("a", scheme=Scheme.FIFO_THRESHOLD, buffer_size=mbytes(1.0)),
+        NodeSpec("b", scheme=Scheme.FIFO_THRESHOLD, buffer_size=mbytes(1.0)),
+        NodeSpec("c"),
+    )
+    links = (LinkSpec("a", "b", mbps(48.0)), LinkSpec("b", "c", mbps(48.0)))
+    template = FlowSpec(
+        flow_id=0,
+        peak_rate=mbps(8.0),
+        avg_rate=mbps(1.0),
+        bucket=kbytes(50.0),
+        token_rate=mbps(2.0),
+        conformant=True,
+        mean_burst=kbytes(50.0),
+    )
+    scenario = NetworkScenario(
+        nodes=nodes,
+        links=links,
+        flows=(),
+        churn=ChurnSpec(
+            arrival_rate=params["arrival_rate"],
+            mean_holding=params["mean_holding"],
+            templates=(template,),
+            routes=(("a", "b", "c"),),
+            admission="auto",
+        ),
+        sim_time=params["sim_time"],
+        seed=params["seed"],
+    )
+    return run_fabric(scenario).events_processed
+
+
 def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
     return [
         BenchCase(
@@ -251,6 +312,17 @@ def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
             runner=_run_onoff_batched,
             params={"seed": 7, "sim_time": source_time, "rng_batch": 256},
         ),
+        BenchCase(
+            "churn",
+            MICRO,
+            runner=_run_churn,
+            params={
+                "seed": 17,
+                "sim_time": source_time / 2.0,
+                "arrival_rate": 120.0,
+                "mean_holding": 0.05,
+            },
+        ),
     ]
 
 
@@ -258,7 +330,7 @@ def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
 
 
 def default_suite(quick: bool = False) -> list[BenchCase]:
-    """The curated suite: four macro + four micro cases.
+    """The curated suite: five macro + five micro cases.
 
     ``quick`` shrinks sim time and op counts for CI-class machines; the
     case *digests* change with it, so quick and full baselines never

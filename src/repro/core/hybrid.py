@@ -52,10 +52,10 @@ class HybridBufferManager:
             raise ConfigurationError(f"flow {flow_id} not assigned to any class")
         return self.managers[class_id]
 
-    def attach_trace(self, sink, clock) -> None:
+    def attach_trace(self, sink, clock, node: str = "") -> None:
         """Propagate the trace sink to every class sub-manager."""
         for manager in self.managers:
-            manager.attach_trace(sink, clock)
+            manager.attach_trace(sink, clock, node)
 
     def register_metrics(self, registry, **labels) -> None:
         """Register each class partition under a ``class`` label."""

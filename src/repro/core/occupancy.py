@@ -35,7 +35,7 @@ class BufferManager(ABC):
         capacity: total buffer size ``B`` in bytes.  Must be positive.
     """
 
-    __slots__ = ("capacity", "_occupancy", "_total", "_sink", "_clock")
+    __slots__ = ("capacity", "_occupancy", "_total", "_sink", "_clock", "_node")
 
     #: How :meth:`drop_reason` labels policy (non-capacity) rejections;
     #: subclasses override with their mechanism name.
@@ -49,6 +49,7 @@ class BufferManager(ABC):
         self._total = 0.0
         self._sink = None
         self._clock = None
+        self._node = ""
 
     @property
     def total_occupancy(self) -> float:
@@ -66,7 +67,7 @@ class BufferManager(ABC):
 
     # -- observability ---------------------------------------------------
 
-    def attach_trace(self, sink, clock) -> None:
+    def attach_trace(self, sink, clock, node: str = "") -> None:
         """Emit threshold-cross (and subclass) events into ``sink``.
 
         Args:
@@ -74,11 +75,13 @@ class BufferManager(ABC):
                 detach.
             clock: zero-argument callable returning simulation time
                 (managers have no engine reference of their own).
+            node: hop label stamped on emitted events in multi-node runs.
         """
         if sink is not None and clock is None:
             raise ConfigurationError("attach_trace needs a clock with its sink")
         self._sink = sink
         self._clock = clock
+        self._node = node
 
     def register_metrics(self, registry, **labels) -> None:
         """Expose occupancy accounting through a metrics registry."""
@@ -133,6 +136,7 @@ class BufferManager(ABC):
                     occupancy=after,
                     threshold=threshold,
                     direction="up",
+                    node=self._node,
                 )
             )
         elif after < threshold <= before:
@@ -143,6 +147,7 @@ class BufferManager(ABC):
                     occupancy=after,
                     threshold=threshold,
                     direction="down",
+                    node=self._node,
                 )
             )
 

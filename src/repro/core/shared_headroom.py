@@ -94,7 +94,12 @@ class SharedHeadroomManager(BufferManager):
 
     def _trace_headroom(self) -> None:
         self._sink.emit(
-            HeadroomEvent(time=self._clock(), headroom=self.headroom, holes=self.holes)
+            HeadroomEvent(
+                time=self._clock(),
+                headroom=self.headroom,
+                holes=self.holes,
+                node=self._node,
+            )
         )
 
     def _within_reservation(self, flow_id: int, size: float) -> bool:

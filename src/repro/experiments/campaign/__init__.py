@@ -19,6 +19,12 @@ See ``docs/campaigns.md`` for the full pipeline description and CLI.
 
 from repro.experiments.campaign.cache import ResultCache
 from repro.experiments.campaign.job import CAMPAIGN_SCHEMA, ScenarioJob
+from repro.experiments.campaign.network import (
+    NETWORK_SCHEMA,
+    LinkRecord,
+    NetworkJob,
+    NetworkRecord,
+)
 from repro.experiments.campaign.record import ScenarioRecord
 from repro.experiments.campaign.runner import (
     CampaignRunner,
@@ -29,8 +35,12 @@ from repro.experiments.campaign.runner import (
 
 __all__ = [
     "CAMPAIGN_SCHEMA",
+    "NETWORK_SCHEMA",
     "ScenarioJob",
     "ScenarioRecord",
+    "NetworkJob",
+    "NetworkRecord",
+    "LinkRecord",
     "ResultCache",
     "CampaignRunner",
     "CampaignStats",

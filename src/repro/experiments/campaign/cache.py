@@ -18,6 +18,7 @@ import pathlib
 
 from repro.errors import ConfigurationError
 from repro.experiments.campaign.job import CAMPAIGN_SCHEMA
+from repro.experiments.campaign.network import NETWORK_SCHEMA, NetworkRecord
 from repro.experiments.campaign.record import ScenarioRecord
 
 __all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
@@ -53,19 +54,33 @@ class ResultCache:
         """Where the entry for ``digest`` lives (whether or not it exists)."""
         return self.root / f"{digest}.json"
 
-    def get(self, digest: str) -> ScenarioRecord | None:
-        """The cached record for ``digest``, or ``None`` on any miss."""
+    def get(self, digest: str) -> ScenarioRecord | NetworkRecord | None:
+        """The cached record for ``digest``, or ``None`` on any miss.
+
+        The entry's schema tag selects the record family: classic
+        single-port records and network-fabric records share the cache
+        directory, and their digests cover their (distinct) schemas, so
+        the two namespaces can never collide.
+        """
         path = self.path(digest)
         try:
             raw = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             self.misses += 1
             return None
-        if not isinstance(raw, dict) or raw.get("schema") != CAMPAIGN_SCHEMA:
+        if not isinstance(raw, dict):
+            self.misses += 1
+            return None
+        schema = raw.get("schema")
+        if schema == CAMPAIGN_SCHEMA:
+            loader = ScenarioRecord.from_dict
+        elif schema == NETWORK_SCHEMA:
+            loader = NetworkRecord.from_dict
+        else:
             self.misses += 1
             return None
         try:
-            record = ScenarioRecord.from_dict(raw)
+            record = loader(raw)
         except (ConfigurationError, KeyError, TypeError, ValueError):
             self.misses += 1
             return None
@@ -77,7 +92,7 @@ class ResultCache:
         self.hits += 1
         return record
 
-    def put(self, record: ScenarioRecord) -> pathlib.Path:
+    def put(self, record: ScenarioRecord | NetworkRecord) -> pathlib.Path:
         """Store a record under its job digest (atomic rename)."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(record.job_digest)

@@ -45,8 +45,15 @@ from repro.obs.telemetry import (
 __all__ = ["CampaignRunner", "CampaignStats", "default_runner", "execute_job"]
 
 
-def execute_job(job: ScenarioJob) -> ScenarioRecord:
+def execute_job(job):
     """Run one job to completion and return its measurement record.
+
+    Accepts both job families: a classic
+    :class:`~repro.experiments.campaign.job.ScenarioJob` runs the
+    single-port pipeline and returns a :class:`ScenarioRecord`; a
+    :class:`~repro.experiments.campaign.network.NetworkJob` runs the
+    scenario fabric and returns a
+    :class:`~repro.experiments.campaign.network.NetworkRecord`.
 
     Module-level (not a method) so a ``ProcessPoolExecutor`` can pickle
     it by reference into worker processes.  The returned record carries a
@@ -57,16 +64,21 @@ def execute_job(job: ScenarioJob) -> ScenarioRecord:
     # Imported here, not at module top: repro.experiments.runner imports
     # this package lazily for run_replications, and a top-level import in
     # both directions would be circular.
+    from repro.experiments.campaign.network import NetworkJob, NetworkRecord
+    from repro.experiments.fabric import run_fabric
     from repro.experiments.runner import run_scenario
 
     # repro: noqa RPR101 — telemetry measures real wall time, never sim state
     start = time.perf_counter()
-    result = run_scenario(
-        job.flows, job.scheme, job.buffer_size, **job.scenario_kwargs()
-    )
+    if isinstance(job, NetworkJob):
+        record = NetworkRecord.from_result(run_fabric(job.scenario), job.digest())
+    else:
+        result = run_scenario(
+            job.flows, job.scheme, job.buffer_size, **job.scenario_kwargs()
+        )
+        record = ScenarioRecord.from_result(result, job.digest())
     # repro: noqa RPR101 — telemetry measures real wall time, never sim state
     wall = time.perf_counter() - start
-    record = ScenarioRecord.from_result(result, job.digest())
     return dataclasses.replace(
         record,
         telemetry=JobTelemetry(

@@ -1,0 +1,270 @@
+"""Dynamic flow lifecycle with route-wide admission control.
+
+The paper's admission regions (Section 2.3) are stated per node; a flow
+crossing several nodes must fit at *every* one of them.
+:class:`FlowChurnProcess` drives a Poisson arrival process of candidate
+flows, admission-tests each candidate hop by hop — with the burst
+envelope inflated along the route (see
+:func:`repro.net.topology.per_hop_sigma`) — and only instantiates a
+source once every hop has accepted.  Rejections are attributed to the
+first refusing hop and split by the paper's two causes:
+*bandwidth-limited* (the rate sum) vs *buffer-limited* (the buffer
+requirement).
+
+Accepted flows hold for an exponential time, then depart: every hop's
+admission books are released, the per-hop thresholds registered for the
+flow are withdrawn, and the source is silenced.  Routes stay installed
+so in-flight packets drain normally.
+
+All randomness (interarrivals, template and route choice, holding
+times, and the per-flow source streams) derives from one
+``SeedSequence`` child, spawned *after* the static flows' children —
+adding churn to a scenario never perturbs the static sample paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.admission import AdmissionControl, Rejection
+from repro.core.thresholds import flow_threshold
+from repro.errors import ConfigurationError
+from repro.net.topology import Network, per_hop_sigma
+from repro.sim.engine import Simulator
+from repro.traffic.shaper import LeakyBucketShaper
+from repro.traffic.sources import OnOffSource
+
+__all__ = ["HopState", "ChurnReport", "FlowChurnProcess"]
+
+
+@dataclass
+class HopState:
+    """Everything churn needs to know about one link.
+
+    Attributes:
+        src: name of the node owning the egress port.
+        label: the link label ``"src->dst"``.
+        admission: the hop's schedulability region, pre-booked with the
+            static flows crossing the link.
+        manager: the link's buffer manager; dynamic per-flow thresholds
+            are registered into (and withdrawn from) its ``thresholds``
+            mapping when it has one.
+        buffer_size: the hop's buffer ``B`` in bytes.
+        rate: the hop's link rate ``R`` in bytes/second.
+    """
+
+    src: str
+    label: str
+    admission: AdmissionControl
+    manager: object
+    buffer_size: float
+    rate: float
+
+    @property
+    def delay_bound(self) -> float:
+        """Worst-case queueing delay ``B / R`` used for sigma inflation."""
+        return self.buffer_size / self.rate
+
+
+@dataclass
+class ChurnReport:
+    """Outcome accounting for one churn run.
+
+    ``per_node`` maps a node name to rejection counts keyed by the
+    paper's two causes (``"bandwidth-limited"`` / ``"buffer-limited"``);
+    a candidate is charged to the *first* hop that refused it.
+    """
+
+    arrivals: int = 0
+    accepted: int = 0
+    blocked_bandwidth: int = 0
+    blocked_buffer: int = 0
+    departures: int = 0
+    active_at_end: int = 0
+    per_node: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def blocked(self) -> int:
+        return self.blocked_bandwidth + self.blocked_buffer
+
+    @property
+    def blocking_probability(self) -> float:
+        """Fraction of arrivals refused somewhere on their route."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.blocked / self.arrivals
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-friendly form; round-trips via :meth:`from_dict`."""
+        return {
+            "arrivals": int(self.arrivals),
+            "accepted": int(self.accepted),
+            "blocked_bandwidth": int(self.blocked_bandwidth),
+            "blocked_buffer": int(self.blocked_buffer),
+            "departures": int(self.departures),
+            "active_at_end": int(self.active_at_end),
+            "per_node": {
+                node: {reason: int(count) for reason, count in sorted(reasons.items())}
+                for node, reasons in sorted(self.per_node.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(raw: dict) -> "ChurnReport":
+        return ChurnReport(
+            arrivals=int(raw["arrivals"]),
+            accepted=int(raw["accepted"]),
+            blocked_bandwidth=int(raw["blocked_bandwidth"]),
+            blocked_buffer=int(raw["blocked_buffer"]),
+            departures=int(raw["departures"]),
+            active_at_end=int(raw["active_at_end"]),
+            per_node={
+                node: dict(reasons) for node, reasons in raw["per_node"].items()
+            },
+        )
+
+
+class FlowChurnProcess:
+    """Poisson flow arrivals, route-wide admission, exponential holding.
+
+    Args:
+        sim: the simulation engine.
+        network: the built network (routes are installed into it as
+            flows are accepted).
+        scenario: the owning scenario (packet size, sim_time, churn spec).
+        hops: per-link :class:`HopState`, keyed by ``(src, dst)``.
+        seed_seq: the churn ``SeedSequence`` child; decision draws use a
+            generator over it and each accepted flow's source spawns a
+            fresh grandchild, so acceptance decisions and source sample
+            paths are independent streams.
+        first_flow_id: id of the first dynamic flow.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        scenario,
+        hops: dict[tuple[str, str], HopState],
+        seed_seq: np.random.SeedSequence,
+        first_flow_id: int,
+    ) -> None:
+        spec = scenario.churn
+        if spec is None:
+            raise ConfigurationError("scenario has no churn spec")
+        for route in spec.routes:
+            for hop in zip(route, route[1:]):
+                if hop not in hops:
+                    raise ConfigurationError(
+                        f"churn route uses link {hop[0]}->{hop[1]} "
+                        "with no admission state"
+                    )
+        self.sim = sim
+        self.network = network
+        self.scenario = scenario
+        self.spec = spec
+        self.hops = hops
+        self.report = ChurnReport()
+        self._seed_seq = seed_seq
+        self._rng = np.random.default_rng(seed_seq)
+        self._next_id = first_flow_id
+        self._active: dict[int, tuple[OnOffSource, tuple[tuple[str, str], ...], list[float]]] = {}
+        sim.schedule_fast(
+            self._rng.exponential(1.0 / spec.arrival_rate), self._arrival
+        )
+
+    # -- arrival ----------------------------------------------------------
+
+    def _draw_candidate(self):
+        template = self.spec.templates[
+            int(self._rng.integers(len(self.spec.templates)))
+        ]
+        route = self.spec.routes[int(self._rng.integers(len(self.spec.routes)))]
+        return template, route
+
+    def _arrival(self) -> None:
+        if self.sim.now >= self.scenario.sim_time:
+            return
+        self.sim.schedule_fast(
+            self._rng.exponential(1.0 / self.spec.arrival_rate), self._arrival
+        )
+        template, route = self._draw_candidate()
+        self.report.arrivals += 1
+
+        hop_keys = tuple(zip(route, route[1:]))
+        states = [self.hops[key] for key in hop_keys]
+        sigmas = per_hop_sigma(
+            template.bucket, template.token_rate, [s.delay_bound for s in states]
+        )
+        for state, sigma in zip(states, sigmas):
+            decision = state.admission.check(sigma, template.token_rate)
+            if not decision:
+                self._record_rejection(state.src, decision.reason)
+                return
+
+        flow_id = self._next_id
+        self._next_id += 1
+        self.report.accepted += 1
+        for state, sigma in zip(states, sigmas):
+            state.admission.admit(sigma, template.token_rate)
+            thresholds = getattr(state.manager, "thresholds", None)
+            if thresholds is not None:
+                thresholds[flow_id] = flow_threshold(
+                    sigma, template.token_rate, state.buffer_size, state.rate
+                )
+        self.network.set_route(flow_id, list(route))
+
+        destination = self.network.entry(flow_id)
+        if template.conformant:
+            destination = LeakyBucketShaper(
+                self.sim, template.bucket, template.token_rate, destination
+            )
+        source = OnOffSource(
+            self.sim,
+            flow_id,
+            template.peak_rate,
+            template.avg_rate,
+            template.mean_burst,
+            destination,
+            np.random.default_rng(self._seed_seq.spawn(1)[0]),
+            packet_size=self.scenario.packet_size,
+            start=self.sim.now,
+            until=self.scenario.sim_time,
+        )
+        self._active[flow_id] = (source, hop_keys, list(sigmas))
+        holding = self._rng.exponential(self.spec.mean_holding)
+        self.sim.schedule_fast(holding, self._departure, flow_id, template.token_rate)
+
+    def _record_rejection(self, node: str, reason: Rejection | None) -> None:
+        key = "unknown" if reason is None else reason.value
+        if reason is Rejection.BANDWIDTH_LIMITED:
+            self.report.blocked_bandwidth += 1
+        else:
+            self.report.blocked_buffer += 1
+        node_counts = self.report.per_node.setdefault(node, {})
+        node_counts[key] = node_counts.get(key, 0) + 1
+
+    # -- departure --------------------------------------------------------
+
+    def _departure(self, flow_id: int, rho: float) -> None:
+        entry = self._active.pop(flow_id, None)
+        if entry is None:
+            return
+        source, hop_keys, sigmas = entry
+        source.stop()
+        for key, sigma in zip(hop_keys, sigmas):
+            state = self.hops[key]
+            state.admission.release(sigma, rho)
+            thresholds = getattr(state.manager, "thresholds", None)
+            if thresholds is not None:
+                thresholds.pop(flow_id, None)
+        self.report.departures += 1
+
+    # -- finalisation -----------------------------------------------------
+
+    def finalize(self) -> ChurnReport:
+        """Close the books after the run; returns the filled report."""
+        self.report.active_at_end = len(self._active)
+        return self.report

@@ -1,0 +1,123 @@
+"""Canonical multi-hop demo scenario.
+
+One reference tandem used by the CLI (``repro net demo``), the benchmark
+suite (the ``tandem-3hop`` macro case) and the tests: a conformant
+target flow crossing every hop of a FIFO+thresholds tandem, independent
+cross-traffic congesting each hop locally, and (optionally) a churning
+population of dynamic flows admission-tested over the full route.
+
+The numbers follow the paper's single-port experiments: 48 Mbit/s
+links, 1 MByte buffers per hop, (50 KByte, 2 Mbit/s) reservations for
+the flows of interest.  The static population books well under half of
+each hop's admission region, so churn acceptance and blocking are both
+exercised at the default arrival rate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fabric.scenario import (
+    ChurnSpec,
+    LinkSpec,
+    NetworkScenario,
+    NodeSpec,
+    RoutedFlow,
+)
+from repro.experiments.schemes import Scheme
+from repro.traffic.profiles import FlowSpec
+from repro.units import kbytes, mbps, mbytes
+
+__all__ = ["demo_tandem", "TARGET_FLOW_ID"]
+
+#: Flow id of the conformant end-to-end target flow.
+TARGET_FLOW_ID = 0
+
+
+def demo_tandem(
+    *,
+    hops: int = 3,
+    seed: int = 0,
+    sim_time: float = 8.0,
+    churn: bool = True,
+    delay_histograms: bool = True,
+) -> NetworkScenario:
+    """The reference ``hops``-hop tandem scenario.
+
+    Args:
+        hops: number of links in the tandem (>= 1).
+        seed: root seed for every stream in the run.
+        sim_time: total simulated seconds.
+        churn: include the dynamic-flow population.
+        delay_histograms: record per-hop and end-to-end delay
+            histograms (the CLI prints end-to-end percentiles).
+    """
+    link_rate = mbps(48.0)
+    buffer_size = mbytes(1.0)
+    names = [f"n{i}" for i in range(hops + 1)]
+    nodes = tuple(
+        NodeSpec(name=name, scheme=Scheme.FIFO_THRESHOLD, buffer_size=buffer_size)
+        for name in names[:-1]
+    ) + (NodeSpec(name=names[-1]),)
+    links = tuple(
+        LinkSpec(names[i], names[i + 1], link_rate) for i in range(hops)
+    )
+
+    target = FlowSpec(
+        flow_id=TARGET_FLOW_ID,
+        peak_rate=mbps(8.0),
+        avg_rate=mbps(2.0),
+        bucket=kbytes(50.0),
+        token_rate=mbps(2.0),
+        conformant=True,
+        mean_burst=kbytes(50.0),
+    )
+    flows = [RoutedFlow(spec=target, route=tuple(names))]
+    # Independent cross-traffic per hop: bursty, over-subscribed relative
+    # to its reservation (mean burst 5x the bucket, like the paper's
+    # non-conformant flows), entering at hop i and leaving at node i+1.
+    for hop in range(hops):
+        for lane in range(2):
+            flow_id = 100 + 2 * hop + lane
+            flows.append(
+                RoutedFlow(
+                    spec=FlowSpec(
+                        flow_id=flow_id,
+                        peak_rate=mbps(24.0),
+                        avg_rate=mbps(6.0),
+                        bucket=kbytes(50.0),
+                        token_rate=mbps(4.0),
+                        conformant=False,
+                        mean_burst=kbytes(250.0),
+                    ),
+                    route=(names[hop], names[hop + 1]),
+                )
+            )
+
+    churn_spec = None
+    if churn:
+        churn_spec = ChurnSpec(
+            arrival_rate=6.0,
+            mean_holding=4.0,
+            templates=(
+                FlowSpec(
+                    flow_id=0,
+                    peak_rate=mbps(8.0),
+                    avg_rate=mbps(2.0),
+                    bucket=kbytes(50.0),
+                    token_rate=mbps(2.0),
+                    conformant=True,
+                    mean_burst=kbytes(50.0),
+                ),
+            ),
+            routes=(tuple(names),),
+            admission="auto",
+        )
+
+    return NetworkScenario(
+        nodes=nodes,
+        links=links,
+        flows=tuple(flows),
+        churn=churn_spec,
+        sim_time=sim_time,
+        seed=seed,
+        delay_histograms=delay_histograms,
+    )

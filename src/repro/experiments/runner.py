@@ -14,18 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-import numpy as np
-
 from repro.errors import ConfigurationError
-from repro.experiments.schemes import DEFAULT_HEADROOM, Scheme, SchemeBuild, build_scheme
+from repro.experiments.schemes import DEFAULT_HEADROOM, Scheme
 from repro.experiments.workloads import LINK_RATE, PACKET_SIZE
 from repro.metrics.collector import FlowStats, StatsCollector
 from repro.metrics.stats import MeanCI, mean_ci
-from repro.sim.engine import Simulator
-from repro.sim.port import OutputPort
 from repro.traffic.profiles import FlowSpec
-from repro.traffic.shaper import LeakyBucketShaper
-from repro.traffic.sources import OnOffSource
 
 __all__ = ["ScenarioResult", "ReplicationResult", "run_scenario", "run_replications"]
 
@@ -124,67 +118,24 @@ def run_scenario(
             when given, the port and its components register their gauges
             and counters into it before the run starts.
     """
-    if sim_time <= 0:
-        raise ConfigurationError(f"sim_time must be positive, got {sim_time}")
-    if warmup is None:
-        warmup = 0.1 * sim_time
-    if not 0 <= warmup < sim_time:
-        raise ConfigurationError(f"need 0 <= warmup < sim_time, got {warmup}")
+    # Imported lazily: the fabric imports ScenarioResult from this module.
+    from repro.experiments.fabric import NetworkScenario, run_fabric
 
-    sim = Simulator()
-    build: SchemeBuild = build_scheme(
-        sim, scheme, flows, buffer_size, link_rate, headroom=headroom, groups=groups
-    )
-    collector = StatsCollector(warmup=warmup, delay_histograms=delay_histograms)
-    # The scenario pipeline is closed (no downstream, nothing retains
-    # packets after the port is done), so packet recycling is safe.
-    port = OutputPort(
-        sim, link_rate, build.scheduler, build.manager, collector, recycle=True
-    )
-    if sink is not None:
-        port.attach_trace(sink)
-    if registry is not None:
-        port.register_metrics(registry)
-
-    seed_seq = np.random.SeedSequence(seed)
-    child_seqs = seed_seq.spawn(len(flows))
-    for flow, child in zip(flows, child_seqs):
-        rng = np.random.default_rng(child)
-        destination = port
-        if flow.conformant:
-            destination = LeakyBucketShaper(sim, flow.bucket, flow.token_rate, port)
-        OnOffSource(
-            sim,
-            flow.flow_id,
-            flow.peak_rate,
-            flow.avg_rate,
-            flow.mean_burst,
-            destination,
-            rng,
-            packet_size=packet_size,
-            until=sim_time,
-        )
-
-    sim.run(until=sim_time, max_events=max_events)
-
-    result = ScenarioResult(
-        scheme=scheme,
-        buffer_size=buffer_size,
+    scenario = NetworkScenario.single_node(
+        flows,
+        scheme,
+        buffer_size,
         link_rate=link_rate,
         sim_time=sim_time,
         warmup=warmup,
         seed=seed,
-        flow_stats=dict(collector.flows),
-        thresholds=build.thresholds,
-        queue_rates=build.queue_rates,
-        queue_buffers=build.queue_buffers,
-        events_processed=sim.events_processed,
-        collector=collector,
+        headroom=headroom,
+        groups=groups,
+        packet_size=packet_size,
+        delay_histograms=delay_histograms,
+        max_events=max_events,
     )
-    # Flows that never got a packet through still deserve an entry.
-    for flow in flows:
-        result.flow_stats.setdefault(flow.flow_id, FlowStats())
-    return result
+    return run_fabric(scenario, sink=sink, registry=registry).scenario_result
 
 
 @dataclass(frozen=True)

@@ -22,17 +22,36 @@ Custom workloads are given in the paper's units (Mb/s and KBytes)::
       {"peak_mbps": 16, "avg_mbps": 2, "bucket_kb": 50,
        "token_mbps": 2, "conformant": true}
     ]
+
+A spec with a ``"network"`` key describes a multi-node fabric run
+instead; it is executed through the same campaign pipeline as a
+:class:`~repro.experiments.campaign.network.NetworkJob` per seed::
+
+    {
+      "name": "tandem-churn",
+      "network": "tandem",
+      "hops": 3,
+      "seeds": [1, 2, 3]
+    }
+
+``"network"`` is either the string ``"tandem"`` (the reference demo
+tandem, tunable via ``hops``/``sim_time``/``churn``) or a full
+:meth:`~repro.experiments.fabric.NetworkScenario.to_dict` scenario
+object (byte units).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import ConfigurationError
-from repro.experiments.campaign import CampaignRunner, ScenarioJob
+from repro.experiments.campaign import CampaignRunner, NetworkJob, ScenarioJob
+from repro.experiments.fabric import NetworkScenario
+from repro.experiments.fabric.demo import demo_tandem
 from repro.experiments.schemes import DEFAULT_HEADROOM, Scheme
 from repro.experiments.workloads import (
     CASE1_GROUPS,
@@ -47,7 +66,14 @@ from repro.metrics.stats import MeanCI, mean_ci
 from repro.traffic.profiles import FlowSpec
 from repro.units import kbytes, mbps, mbytes
 
-__all__ = ["ScenarioSpec", "run_spec", "jobs_for_spec", "load_specs"]
+__all__ = [
+    "ScenarioSpec",
+    "NetworkSpec",
+    "run_spec",
+    "run_network_spec",
+    "jobs_for_spec",
+    "load_specs",
+]
 
 _WORKLOADS = {"table1": table1_flows, "table2": table2_flows}
 _DEFAULT_GROUPS = {"table1": CASE1_GROUPS, "table2": CASE2_GROUPS}
@@ -137,6 +163,65 @@ class ScenarioSpec:
         )
 
 
+@dataclass(frozen=True)
+class NetworkSpec:
+    """One declarative fabric experiment (multi-node, optional churn)."""
+
+    name: str
+    scenario: NetworkScenario
+    seeds: tuple[int, ...] = (1,)
+
+    @staticmethod
+    def from_dict(raw: dict) -> "NetworkSpec":
+        """Build and validate a network spec from JSON-style data."""
+        try:
+            name = str(raw["name"])
+            network = raw["network"]
+        except KeyError as missing:
+            raise ConfigurationError(f"spec missing required key {missing}") from None
+        if isinstance(network, str):
+            if network != "tandem":
+                raise ConfigurationError(
+                    f"unknown named network {network!r}; valid: tandem, "
+                    "or an inline scenario object"
+                )
+            scenario = demo_tandem(
+                hops=int(raw.get("hops", 3)),
+                sim_time=float(raw.get("sim_time", 8.0)),
+                churn=bool(raw.get("churn", True)),
+            )
+        elif isinstance(network, dict):
+            scenario = NetworkScenario.from_dict(network)
+        else:
+            raise ConfigurationError(
+                "'network' must be a named network or a scenario object"
+            )
+        seeds = tuple(int(s) for s in raw.get("seeds", (1,)))
+        if not seeds:
+            raise ConfigurationError("seeds must be non-empty")
+        return NetworkSpec(name=name, scenario=scenario, seeds=seeds)
+
+    def jobs(self) -> list[NetworkJob]:
+        """The campaign jobs behind this spec: one per seed."""
+        return [
+            NetworkJob(dataclasses.replace(self.scenario, seed=seed))
+            for seed in self.seeds
+        ]
+
+
+def run_network_spec(spec: NetworkSpec, runner: CampaignRunner | None = None):
+    """Execute a network spec over its seeds; one record per seed.
+
+    Jobs go through the campaign pipeline (dedup, cache, process pool)
+    exactly like single-port specs; each returned
+    :class:`~repro.experiments.campaign.network.NetworkRecord` pairs with
+    the seed at the same index in ``spec.seeds``.
+    """
+    if runner is None:
+        runner = CampaignRunner()
+    return runner.run(spec.jobs())
+
+
 def _flow_from_dict(index: int, raw: dict) -> FlowSpec:
     try:
         peak = float(raw["peak_mbps"])
@@ -221,11 +306,21 @@ def run_spec(
     return {label: mean_ci(values) for label, values in samples.items()}
 
 
-def load_specs(path: str | pathlib.Path) -> list[ScenarioSpec]:
-    """Load one spec or a list of specs from a JSON file."""
+def load_specs(path: str | pathlib.Path) -> list[ScenarioSpec | NetworkSpec]:
+    """Load one spec or a list of specs from a JSON file.
+
+    Entries with a ``"network"`` key become :class:`NetworkSpec`; the
+    rest are classic single-port :class:`ScenarioSpec`.  The two kinds
+    can be mixed in one file.
+    """
     raw = json.loads(pathlib.Path(path).read_text())
     if isinstance(raw, dict):
         raw = [raw]
     if not isinstance(raw, list) or not raw:
         raise ConfigurationError("spec file must contain an object or non-empty list")
-    return [ScenarioSpec.from_dict(entry) for entry in raw]
+    return [
+        NetworkSpec.from_dict(entry)
+        if isinstance(entry, dict) and "network" in entry
+        else ScenarioSpec.from_dict(entry)
+        for entry in raw
+    ]

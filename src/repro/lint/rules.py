@@ -14,6 +14,10 @@ rests on (see ``docs/lint.md`` for the rationale and examples):
   scheduling with negative literal delays.
 * **RPR105** — hot-path hygiene: classes in ``repro.sim``/``repro.core``
   declare ``__slots__``; no mutable default arguments anywhere.
+* **RPR106** — port encapsulation: ``OutputPort`` is constructed only by
+  the port layers (``repro.sim``, ``repro.net``,
+  ``repro.experiments.fabric``); everything else goes through the
+  scenario fabric, which enforces the recycling/labelling invariants.
 
 The checks are deliberately syntactic: they over-approximate in known,
 documented ways and rely on ``# repro: noqa`` for the rare deliberate
@@ -36,6 +40,7 @@ __all__ = [
     "ErrorDisciplineRule",
     "SimTimeRule",
     "HotPathRule",
+    "PortEncapsulationRule",
 ]
 
 
@@ -437,3 +442,53 @@ class HotPathRule(Rule):
                     "is shared across calls — default to None instead",
                     default,
                 )
+
+
+@register
+class PortEncapsulationRule(Rule):
+    """RPR106: OutputPort construction is reserved for the port layers."""
+
+    id = "RPR106"
+    name = "port-encapsulation"
+    description = (
+        "no direct OutputPort construction outside repro.sim, repro.net, "
+        "and repro.experiments.fabric; build topologies through the "
+        "scenario fabric"
+    )
+
+    #: Path-component sequences allowed to construct ports.  These are
+    #: the layers that uphold the port invariants: a recycling port
+    #: never feeds a downstream hop, and multi-port runs carry node
+    #: labels on their trace events.
+    _ALLOWED_DIRS = (
+        ("repro", "sim"),
+        ("repro", "net"),
+        ("repro", "experiments", "fabric"),
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if self._is_port_layer(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _dotted_name(node.func).rsplit(".", maxsplit=1)[-1]
+                == "OutputPort"
+            ):
+                yield ctx.finding(
+                    self.id,
+                    "direct OutputPort construction outside the port "
+                    "layers; build the topology through "
+                    "repro.experiments.fabric (or repro.net) so recycling "
+                    "and node-labelling invariants are enforced",
+                    node,
+                )
+
+    @classmethod
+    def _is_port_layer(cls, path: str) -> bool:
+        parts = tuple(part for part in path.replace("\\", "/").split("/") if part)
+        return any(
+            parts[i : i + len(scoped)] == scoped
+            for scoped in cls._ALLOWED_DIRS
+            for i in range(len(parts))
+        )

@@ -27,6 +27,7 @@ def build_tandem(
     manager_factories: Sequence[Callable[[], object]],
     collectors: Sequence[StatsCollector] | None = None,
     scheduler_factory: Callable[[], object] | None = None,
+    warmup: float = 0.0,
 ) -> tuple[Network, list[str]]:
     """Build an ``len(rates)``-hop linear network.
 
@@ -34,9 +35,16 @@ def build_tandem(
         sim: simulation engine.
         rates: link rate (bytes/second) for each hop, in path order.
         manager_factories: one buffer-manager factory per hop.
-        collectors: optional per-hop statistics sinks.
+        collectors: optional per-hop statistics sinks.  When omitted, one
+            :class:`StatsCollector` is created per hop with the given
+            ``warmup`` so every hop measures over the same steady-state
+            window.
         scheduler_factory: scheduler per hop; defaults to FIFO (the
             paper's discipline).
+        warmup: measurement warmup (seconds) for the auto-created
+            collectors; events before this time are excluded from hop
+            statistics.  Ignored when explicit ``collectors`` are passed
+            (they carry their own warmup).
 
     Returns:
         ``(network, node_names)`` where node_names has ``len(rates)+1``
@@ -52,6 +60,10 @@ def build_tandem(
         raise ConfigurationError(
             f"got {len(collectors)} collectors for {len(rates)} hops"
         )
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be non-negative, got {warmup}")
+    if collectors is None:
+        collectors = [StatsCollector(warmup=warmup) for _ in rates]
     if scheduler_factory is None:
         scheduler_factory = FIFOScheduler
 

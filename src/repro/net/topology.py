@@ -68,12 +68,25 @@ def per_hop_sigma(sigma: float, rho: float, hop_delays: list[float]) -> list[flo
 
 @dataclass
 class DeliverySink:
-    """End-to-end statistics for packets leaving the network."""
+    """End-to-end statistics for packets leaving the network.
+
+    Args:
+        collector: optional :class:`StatsCollector` fed one ``on_depart``
+            per delivered packet with the *end-to-end* delay (creation to
+            delivery), so its delay histograms and warmup window apply to
+            whole-path latency rather than a single hop.
+        recycle: release delivered packets back to the :class:`Packet`
+            freelist.  The sink is the only safe place to recycle in a
+            multi-node run — mid-path ports refuse ``recycle=True`` — and
+            it must stay off when callers retain packet references.
+    """
 
     packets: dict[int, int] = field(default_factory=dict)
     bytes: dict[int, float] = field(default_factory=dict)
     delay_sum: dict[int, float] = field(default_factory=dict)
     delay_max: dict[int, float] = field(default_factory=dict)
+    collector: StatsCollector | None = None
+    recycle: bool = False
 
     def record(self, packet: Packet, now: float) -> None:
         flow_id = packet.flow_id
@@ -83,6 +96,10 @@ class DeliverySink:
         self.delay_sum[flow_id] = self.delay_sum.get(flow_id, 0.0) + delay
         if delay > self.delay_max.get(flow_id, 0.0):
             self.delay_max[flow_id] = delay
+        if self.collector is not None:
+            self.collector.on_depart(flow_id, packet.size, delay, now)
+        if self.recycle:
+            packet.release()
 
     def mean_delay(self, flow_id: int) -> float:
         count = self.packets.get(flow_id, 0)
@@ -136,11 +153,11 @@ class Network:
         net.sink.mean_delay(1)        # end-to-end results
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, sink: DeliverySink | None = None):
         self.sim = sim
         self.nodes: dict[str, Node] = {}
         self.links: dict[tuple[str, str], OutputPort] = {}
-        self.sink = DeliverySink()
+        self.sink = DeliverySink() if sink is None else sink
         self._entries: dict[int, str] = {}
 
     def add_node(self, name: str) -> Node:
@@ -167,6 +184,7 @@ class Network:
         port = OutputPort(
             self.sim, rate, scheduler, manager,
             collector=collector, downstream=self.nodes[dst],
+            label=f"{src}->{dst}",
         )
         self.links[(src, dst)] = port
         self.nodes[src].ports[dst] = port
@@ -185,6 +203,31 @@ class Network:
             next_name = path[index + 1] if index + 1 < len(path) else None
             self.nodes[name].next_hop[flow_id] = next_name
         self._entries[flow_id] = path[0]
+
+    def attach_trace(self, sink) -> None:
+        """Wire one trace sink through every link in the network.
+
+        Each port stamps its ``"src->dst"`` label on the events it emits,
+        so a single merged event stream stays attributable per hop.  Pass
+        ``None`` to detach everywhere.
+        """
+        self.sim.attach_trace(sink)
+        for port in self.links.values():
+            port.attach_trace(sink)
+
+    def register_metrics(self, registry) -> None:
+        """Register engine gauges once and each link under its own labels.
+
+        The engine's counters are global to the run, so they are
+        registered unlabelled exactly once; per-port and per-manager
+        gauges get ``node`` (source node) and ``link`` labels so the same
+        instrument names coexist across hops.
+        """
+        self.sim.register_metrics(registry)
+        for (src, dst), port in self.links.items():
+            port.register_metrics(
+                registry, engine=False, node=src, link=f"{src}->{dst}"
+            )
 
     def entry(self, flow_id: int) -> Node:
         """The ingress node of a routed flow (plug sources into this)."""

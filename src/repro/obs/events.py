@@ -31,7 +31,12 @@ __all__ = [
 
 #: Version tag written into every JSONL trace header.  Bump whenever an
 #: event gains/loses a field or changes meaning.
-TRACE_SCHEMA = "repro-trace-v1"
+#:
+#: v2: packet- and buffer-level events carry a ``node`` label so traces
+#: of multi-node scenarios (:mod:`repro.net`, the experiments fabric)
+#: attribute every event to the hop that produced it.  Single-port runs
+#: leave it empty.
+TRACE_SCHEMA = "repro-trace-v2"
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,7 +44,8 @@ class EnqueueEvent:
     """A packet was admitted and handed to the scheduler.
 
     Emitted by the scheduler (:meth:`~repro.sched.base.Scheduler.enqueue`),
-    so ``backlog`` is the queue length *after* the insert.
+    so ``backlog`` is the queue length *after* the insert.  ``node``
+    identifies the emitting hop in multi-node runs ('' for single-port).
     """
 
     kind: ClassVar[str] = "enqueue"
@@ -47,6 +53,7 @@ class EnqueueEvent:
     flow_id: int
     size: float
     backlog: int
+    node: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,7 +64,8 @@ class DropEvent:
     all), ``threshold`` (fixed per-flow threshold), ``dynamic-threshold``,
     ``shared-buffer`` (holes/headroom exhausted for this flow), ``red`` /
     ``fred`` (probabilistic early drop), or ``policy`` for managers that
-    do not classify further.
+    do not classify further.  ``node`` names the dropping hop in
+    multi-node runs ('' for single-port).
     """
 
     kind: ClassVar[str] = "drop"
@@ -65,6 +73,7 @@ class DropEvent:
     flow_id: int
     size: float
     reason: str
+    node: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,6 +85,7 @@ class DepartEvent:
     flow_id: int
     size: float
     delay: float
+    node: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,6 +105,7 @@ class ThresholdCrossEvent:
     occupancy: float
     threshold: float
     direction: str
+    node: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +116,7 @@ class HeadroomEvent:
     time: float
     headroom: float
     holes: float
+    node: str = ""
 
 
 @dataclass(frozen=True, slots=True)

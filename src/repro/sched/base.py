@@ -30,19 +30,23 @@ class Scheduler(ABC):
     #: Trace sink and clock; class-level None means "tracing disabled".
     _sink = None
     _clock = None
+    #: Node label stamped on emitted events ('' for single-port runs).
+    _node = ""
 
-    def attach_trace(self, sink, clock) -> None:
+    def attach_trace(self, sink, clock, node: str = "") -> None:
         """Emit enqueue events into ``sink``, stamped via ``clock``.
 
-        Pass ``sink=None`` to detach.  Composite schedulers (e.g.
-        :class:`~repro.sched.hybrid.HybridScheduler`) attach only their
-        outer layer, so a packet is traced once per port, not once per
-        wrapped queue.
+        Pass ``sink=None`` to detach.  ``node`` labels emitted events
+        with the owning hop in multi-node runs.  Composite schedulers
+        (e.g. :class:`~repro.sched.hybrid.HybridScheduler`) attach only
+        their outer layer, so a packet is traced once per port, not once
+        per wrapped queue.
         """
         if sink is not None and clock is None:
             raise ConfigurationError("attach_trace needs a clock with its sink")
         self._sink = sink
         self._clock = clock
+        self._node = node
 
     @abstractmethod
     def enqueue(self, packet: Packet) -> None:

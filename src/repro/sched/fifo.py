@@ -32,6 +32,7 @@ class FIFOScheduler(Scheduler):
                     flow_id=packet.flow_id,
                     size=packet.size,
                     backlog=len(self._queue),
+                    node=self._node,
                 )
             )
 

@@ -90,6 +90,7 @@ class HybridScheduler(Scheduler):
                     flow_id=packet.flow_id,
                     size=packet.size,
                     backlog=len(self._wfq),
+                    node=self._node,
                 )
             )
 

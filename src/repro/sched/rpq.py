@@ -96,6 +96,7 @@ class RPQScheduler(Scheduler):
                     flow_id=packet.flow_id,
                     size=packet.size,
                     backlog=self._count,
+                    node=self._node,
                 )
             )
 

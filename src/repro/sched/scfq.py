@@ -85,6 +85,7 @@ class SCFQScheduler(Scheduler):
                     flow_id=packet.flow_id,
                     size=packet.size,
                     backlog=self._count,
+                    node=self._node,
                 )
             )
 

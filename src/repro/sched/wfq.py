@@ -123,6 +123,7 @@ class WFQScheduler(Scheduler):
                     flow_id=packet.flow_id,
                     size=packet.size,
                     backlog=self._count,
+                    node=self._node,
                 )
             )
 

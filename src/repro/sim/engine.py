@@ -128,17 +128,21 @@ class Simulator:
         """
         self._sink = sink
 
-    def register_metrics(self, registry) -> None:
+    def register_metrics(self, registry, **labels) -> None:
         """Expose the engine's counters through a metrics registry.
 
         Callback gauges sample the live attributes at snapshot time, so
         the event loop keeps its plain-int hot path.
         """
-        registry.gauge_callback("sim.events_processed", lambda: self._events_processed)
-        registry.gauge_callback("sim.pending", lambda: len(self._heap))
-        registry.gauge_callback("sim.cancelled_pending", lambda: self._cancelled)
-        registry.gauge_callback("sim.compactions", lambda: self._compactions)
-        registry.gauge_callback("sim.now", lambda: self.now)
+        registry.gauge_callback(
+            "sim.events_processed", lambda: self._events_processed, **labels
+        )
+        registry.gauge_callback("sim.pending", lambda: len(self._heap), **labels)
+        registry.gauge_callback(
+            "sim.cancelled_pending", lambda: self._cancelled, **labels
+        )
+        registry.gauge_callback("sim.compactions", lambda: self._compactions, **labels)
+        registry.gauge_callback("sim.now", lambda: self.now, **labels)
 
     def _note_cancelled(self) -> None:
         """Bookkeeping hook called by :meth:`Event.cancel`.

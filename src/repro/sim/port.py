@@ -48,7 +48,11 @@ class OutputPort:
             the port retains packet references — the closed
             ``run_scenario`` pipeline qualifies; callers that inspect
             packets afterwards (tests, custom topologies) must not enable
-            it.
+            it.  Combining ``recycle=True`` with a ``downstream`` hop is
+            refused outright: a recycled packet would be released while
+            the next node still holds it, corrupting the freelist.
+        label: node/link label stamped on emitted trace events ('' for
+            single-port runs; :mod:`repro.net` uses ``"src->dst"``).
     """
 
     __slots__ = (
@@ -59,6 +63,7 @@ class OutputPort:
         "collector",
         "downstream",
         "recycle",
+        "label",
         "busy",
         "_in_service",
         "admitted_packets",
@@ -76,9 +81,17 @@ class OutputPort:
         collector: StatsCollector | None = None,
         downstream=None,
         recycle: bool = False,
+        label: str = "",
     ) -> None:
         if rate <= 0:
             raise ConfigurationError(f"link rate must be positive, got {rate}")
+        if recycle and downstream is not None:
+            raise ConfigurationError(
+                "recycle=True is incompatible with a downstream hop: a "
+                "transmitted packet would be handed to the next node while "
+                "dropped packets of the same flow are released mid-path; "
+                "let the terminal delivery sink release packets instead"
+            )
         self.sim = sim
         self.rate = float(rate)
         self.scheduler = scheduler
@@ -86,6 +99,7 @@ class OutputPort:
         self.collector = collector
         self.downstream = downstream
         self.recycle = recycle
+        self.label = label
         self.busy = False
         self._in_service: Packet | None = None
         self.admitted_packets = 0
@@ -104,12 +118,17 @@ class OutputPort:
         self._sink = sink
         clock = None if sink is None else (lambda: self.sim.now)
         self.sim.attach_trace(sink)
-        self.scheduler.attach_trace(sink, clock)
+        self.scheduler.attach_trace(sink, clock, self.label)
         if hasattr(self.manager, "attach_trace"):
-            self.manager.attach_trace(sink, clock)
+            self.manager.attach_trace(sink, clock, self.label)
 
-    def register_metrics(self, registry, **labels) -> None:
-        """Expose port counters (and sub-component gauges) in ``registry``."""
+    def register_metrics(self, registry, engine: bool = True, **labels) -> None:
+        """Expose port counters (and sub-component gauges) in ``registry``.
+
+        ``engine=False`` skips the shared engine gauges — multi-port
+        topologies register the engine once and each port under its own
+        labels (see :meth:`repro.net.topology.Network.register_metrics`).
+        """
         registry.gauge_callback(
             "port.admitted_packets", lambda: self.admitted_packets, **labels
         )
@@ -122,7 +141,8 @@ class OutputPort:
         registry.gauge_callback(
             "port.backlog_packets", lambda: self.backlog_packets, **labels
         )
-        self.sim.register_metrics(registry, **labels)
+        if engine:
+            self.sim.register_metrics(registry, **labels)
         if hasattr(self.manager, "register_metrics"):
             self.manager.register_metrics(registry, **labels)
 
@@ -148,6 +168,7 @@ class OutputPort:
                         flow_id=packet.flow_id,
                         size=packet.size,
                         reason=self._drop_reason(packet),
+                        node=self.label,
                     )
                 )
             if self.recycle:
@@ -195,6 +216,7 @@ class OutputPort:
                         flow_id=packet.flow_id,
                         size=packet.size,
                         delay=delay,
+                        node=self.label,
                     )
                 )
         if self.downstream is not None:

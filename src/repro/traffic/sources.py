@@ -152,6 +152,16 @@ class OnOffSource:
 
     # -- emission ---------------------------------------------------------
 
+    def stop(self) -> None:
+        """Silence the source from the current instant onwards.
+
+        Dynamic-flow teardown (:mod:`repro.experiments.fabric`) calls
+        this when a churning flow departs: pending emission callbacks
+        were scheduled through the handle-free fast path and cannot be
+        cancelled, so they fire and see the stop condition instead.
+        """
+        self.until = self.sim.now
+
     def _stopped(self) -> bool:
         return self.until is not None and self.sim.now >= self.until
 
@@ -204,6 +214,10 @@ class CBRSource:
         self.emitted_bytes = 0.0
         self._spacing = self.packet_size / self.rate
         sim.schedule_at(start, self._emit)
+
+    def stop(self) -> None:
+        """Silence the source from the current instant onwards."""
+        self.until = self.sim.now
 
     def _emit(self) -> None:
         if self.until is not None and self.sim.now >= self.until:

@@ -52,3 +52,9 @@ def to_kbytes(size_bytes: float) -> float:
 def to_mbytes(size_bytes: float) -> float:
     """Convert a size in bytes to MBytes for reporting."""
     return size_bytes / MBYTE
+
+
+def to_millis(time_seconds: float) -> float:
+    """Convert a time in seconds to milliseconds for reporting."""
+    # repro: noqa RPR102 — this *is* the canonical conversion definition
+    return time_seconds * 1_000.0

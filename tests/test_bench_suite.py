@@ -32,6 +32,7 @@ class TestSuiteDefinition:
             "shared-headroom",
             "wfq-threshold",
             "hybrid-sharing",
+            "tandem-3hop",
         ]
 
     def test_micro_cases_cover_engine_and_sources(self):
@@ -41,6 +42,7 @@ class TestSuiteDefinition:
             "engine-preloaded",
             "engine-cancel",
             "onoff-batched",
+            "churn",
         }
 
     def test_quick_and_full_have_different_digests(self):

@@ -66,10 +66,10 @@ class TestOutputs:
         assert payload["findings"][0]["rule"] == "RPR102"
         assert payload["findings"][0]["line"] == 2
 
-    def test_list_rules_names_all_five_domain_rules(self, capsys):
+    def test_list_rules_names_all_six_domain_rules(self, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for rule_id in ("RPR101", "RPR102", "RPR103", "RPR104", "RPR105"):
+        for rule_id in ("RPR101", "RPR102", "RPR103", "RPR104", "RPR105", "RPR106"):
             assert rule_id in out
 
 

@@ -232,6 +232,51 @@ class TestHotPathRPR105:
         assert rule_ids(snippet, path="src/repro/experiments/snippet.py", select=["RPR105"]) == []
 
 
+class TestPortEncapsulationRPR106:
+    SNIPPET = """
+        from repro.sim.port import OutputPort
+
+        def build(sim, scheduler, manager):
+            return OutputPort(sim, 6e6, scheduler, manager)
+        """
+
+    def test_flags_direct_construction_in_library_code(self):
+        assert "RPR106" in rule_ids(self.SNIPPET)
+
+    def test_flags_attribute_style_construction(self):
+        snippet = """
+            import repro.sim.port as port_mod
+
+            def build(sim, scheduler, manager):
+                return port_mod.OutputPort(sim, 6e6, scheduler, manager)
+            """
+        assert "RPR106" in rule_ids(snippet)
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/sim/port.py",
+            "src/repro/net/topology.py",
+            "src/repro/experiments/fabric/build.py",
+        ],
+    )
+    def test_port_layers_may_construct_ports(self, path):
+        assert rule_ids(self.SNIPPET, path=path, select=["RPR106"]) == []
+
+    def test_tests_and_benchmarks_exempt(self):
+        assert rule_ids(self.SNIPPET, path=TEST_PATH) == []
+        assert rule_ids(self.SNIPPET, path="benchmarks/bench_port.py") == []
+
+    def test_references_without_construction_are_fine(self):
+        clean = """
+            from repro.experiments.fabric import run_fabric
+
+            def run(scenario):
+                return run_fabric(scenario)
+            """
+        assert rule_ids(clean, select=["RPR106"]) == []
+
+
 class TestScoping:
     def test_library_rules_skip_test_files(self):
         bad_everywhere = """

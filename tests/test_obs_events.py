@@ -24,6 +24,9 @@ SAMPLES = [
     ),
     HeadroomEvent(time=4.0, headroom=1500.0, holes=2.0),
     HeapCompactEvent(time=5.0, removed=120, remaining=40),
+    EnqueueEvent(time=6.0, flow_id=3, size=500.0, backlog=7, node="n1"),
+    DropEvent(time=6.5, flow_id=9, size=500.0, reason="threshold", node="n2"),
+    DepartEvent(time=7.0, flow_id=3, size=500.0, delay=0.004, node="n1"),
 ]
 
 

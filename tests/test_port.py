@@ -177,8 +177,28 @@ class TestRecycleMode:
         assert not port.receive(overflow)
         assert Packet.acquire(2, 500.0, 0.0) is overflow
 
+    def test_recycle_with_downstream_is_refused(self):
+        # Recycling mid-path would release dropped packets of a flow while
+        # transmitted packets of the same flow are still owned by the next
+        # node; the port refuses the combination outright.
+        sim = Simulator()
+
+        class Hop:
+            def receive(self, packet):
+                pass
+
+        with pytest.raises(ConfigurationError, match="recycle"):
+            OutputPort(
+                sim,
+                1000.0,
+                FIFOScheduler(),
+                TailDropManager(10_000.0),
+                downstream=Hop(),
+                recycle=True,
+            )
+
     def test_downstream_hop_keeps_ownership(self):
-        # With a downstream, the packet is handed on, not recycled.
+        # Without recycling, the packet is handed to the downstream as-is.
         sim = Simulator()
         received = []
 
@@ -192,7 +212,6 @@ class TestRecycleMode:
             FIFOScheduler(),
             TailDropManager(10_000.0),
             downstream=Hop(),
-            recycle=True,
         )
         packet = Packet.acquire(0, 500.0, 0.0)
         port.receive(packet)
