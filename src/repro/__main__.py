@@ -22,6 +22,9 @@ Usage::
 
     python -m repro net demo            # 3-hop tandem with flow churn
     python -m repro net demo --hops 5 --seed 3 --no-churn
+
+    python -m repro check examples/specs benchmarks/baselines
+    python -m repro check --list-invariants
 """
 
 from __future__ import annotations
@@ -255,6 +258,7 @@ def run_campaign(args: argparse.Namespace) -> int:
             workers=args.workers or 1,
             cache=_campaign_cache(args),
             telemetry_dir=_telemetry_dir(args),
+            preflight=True,
         )
         run_spec_file(args.spec, runner=runner)
         return 0
@@ -449,6 +453,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "check":
+        # Same delegation for the invariant auditor (specs/artifacts).
+        from repro.check.cli import main as check_main
+
+        return check_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.target == "campaign":
         return run_campaign(args)

@@ -1,0 +1,57 @@
+"""repro.check — whole-program static analysis and the invariant auditor.
+
+Two layers:
+
+* **Layer 1** (:mod:`repro.check.project`, :mod:`repro.check.program_rules`)
+  upgrades :mod:`repro.lint` to a whole-program pass: a project indexer
+  (module symbol tables + import graph over one shared parse per file)
+  powering the cross-module rules RPR107 (RNG lineage), RPR108
+  (trace-event registration) and RPR109 (hot-loop time accumulation).
+  These register themselves with the lint engine and run as part of any
+  ``repro-lint`` invocation.
+
+* **Layer 2** (:mod:`repro.check.invariants`, :mod:`repro.check.artifacts`,
+  :mod:`repro.check.cli`) is the buffer-invariant auditor: a semantic
+  checker over scenario/spec files and on-disk artifacts that verifies —
+  without running the engine — that threshold sums fit buffers, link
+  capacities cover reserved rates, routes are connected, churn admission
+  regions are feasible, and artifacts carry current ``*_SCHEMA`` tags.
+  Exposed as ``repro check`` / ``repro-check`` and as the campaign
+  runner's pre-flight.
+
+This ``__init__`` stays import-light on purpose: the lint engine imports
+:mod:`repro.check.program_rules` at startup, and the invariant layer's
+heavier imports (fabric, admission math) must not ride along.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_paths",
+    "check_scenario",
+    "check_scenario_dict",
+    "check_spec_file",
+    "check_artifact_file",
+    "INVARIANT_CATALOG",
+]
+
+
+def __getattr__(name: str):
+    if name in (
+        "check_scenario",
+        "check_scenario_dict",
+        "check_spec_file",
+        "INVARIANT_CATALOG",
+    ):
+        from repro.check import invariants
+
+        return getattr(invariants, name)
+    if name == "check_artifact_file":
+        from repro.check.artifacts import check_artifact_file
+
+        return check_artifact_file
+    if name == "check_paths":
+        from repro.check.cli import check_paths
+
+        return check_paths
+    raise AttributeError(f"module 'repro.check' has no attribute {name!r}")

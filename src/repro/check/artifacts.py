@@ -1,0 +1,196 @@
+"""Schema-version audits of on-disk artifacts (RPR205).
+
+Every artifact family the repo commits or caches carries a ``schema``
+version tag written by its producer; readers reject mismatches at use
+time.  This module checks the committed files *ahead* of use, so a
+schema bump that forgets to regenerate baselines/goldens/caches fails
+CI at the lint gate rather than deep inside a campaign:
+
+* bench baselines (``BENCH_*.json``) — :data:`repro.bench.baseline.BENCH_SCHEMA`,
+  including the integrity digest over the payload;
+* campaign cache records — :data:`repro.experiments.campaign.job.CAMPAIGN_SCHEMA`
+  / :data:`repro.experiments.campaign.network.NETWORK_SCHEMA`;
+* equivalence goldens — the ``repro-equivalence-v1`` tag the golden test
+  asserts;
+* JSONL trace files — the :data:`repro.obs.events.TRACE_SCHEMA` header;
+* JSONL telemetry files — :data:`repro.obs.telemetry.TELEMETRY_SCHEMA`
+  per line.
+
+Tags are matched by family (the part before the ``-v<N>`` suffix), so a
+stale ``repro-bench-v0`` is reported as *drift* against the current
+``repro-bench-v1`` rather than as an unknown artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench.baseline import BENCH_SCHEMA, BenchBaseline
+from repro.errors import ConfigurationError
+from repro.experiments.campaign.job import CAMPAIGN_SCHEMA
+from repro.experiments.campaign.network import NETWORK_SCHEMA
+from repro.lint.findings import Finding
+from repro.obs.events import TRACE_SCHEMA
+from repro.obs.telemetry import TELEMETRY_SCHEMA
+
+__all__ = ["GOLDENS_SCHEMA", "KNOWN_SCHEMAS", "check_artifact_file", "schema_family"]
+
+#: The tag tests/test_equivalence.py pins for the committed goldens.
+GOLDENS_SCHEMA = "repro-equivalence-v1"
+
+#: family -> the tag current producers write.
+KNOWN_SCHEMAS: dict[str, str] = {
+    "repro-bench": BENCH_SCHEMA,
+    "repro-campaign": CAMPAIGN_SCHEMA,
+    "repro-campaign-net": NETWORK_SCHEMA,
+    "repro-equivalence": GOLDENS_SCHEMA,
+    "repro-trace": TRACE_SCHEMA,
+    "repro-telemetry": TELEMETRY_SCHEMA,
+}
+
+
+def schema_family(tag: str) -> str:
+    """``repro-bench-v1`` -> ``repro-bench`` ('' when not versioned)."""
+    family, sep, version = tag.rpartition("-v")
+    if not sep or not version.isdigit():
+        return ""
+    return family
+
+
+def _check_tag(tag, path: str, line: int = 1) -> list[Finding]:
+    """Compare one schema tag against the current producer's tag."""
+    if not isinstance(tag, str) or not tag:
+        return [
+            Finding(
+                "RPR205",
+                "artifact has no usable 'schema' tag; every committed "
+                "artifact must declare its schema version",
+                path,
+                line,
+            )
+        ]
+    family = schema_family(tag)
+    expected = KNOWN_SCHEMAS.get(family)
+    if expected is None:
+        return [
+            Finding(
+                "RPR205",
+                f"unknown artifact schema family {tag!r}; known: "
+                + ", ".join(sorted(KNOWN_SCHEMAS.values())),
+                path,
+                line,
+            )
+        ]
+    if tag != expected:
+        return [
+            Finding(
+                "RPR205",
+                f"schema drift: artifact declares {tag!r} but current "
+                f"producers write {expected!r}; regenerate the artifact "
+                "(or bump it) before relying on it",
+                path,
+                line,
+            )
+        ]
+    return []
+
+
+def _check_bench_baseline(path: pathlib.Path) -> list[Finding]:
+    """Full integrity check through the baseline loader."""
+    try:
+        BenchBaseline.load(path)
+    except ConfigurationError as exc:
+        return [Finding("RPR205", f"bench baseline rejected: {exc}", str(path), 1)]
+    return []
+
+
+def _check_json_artifact(path: pathlib.Path, raw: dict) -> list[Finding]:
+    tag = raw.get("schema")
+    findings = _check_tag(tag, str(path))
+    if findings:
+        return findings
+    if tag == BENCH_SCHEMA:
+        findings.extend(_check_bench_baseline(path))
+    return findings
+
+
+def _check_jsonl_artifact(path: pathlib.Path, text: str) -> list[Finding]:
+    """Trace files validate the header line; telemetry every line."""
+    findings: list[Finding] = []
+    first_tag: str | None = None
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            findings.append(
+                Finding("RPR205", f"unparsable JSONL line: {exc}", str(path), number)
+            )
+            break
+        if not isinstance(entry, dict):
+            findings.append(
+                Finding("RPR205", "JSONL line is not an object", str(path), number)
+            )
+            break
+        tag = entry.get("schema")
+        if first_tag is None:
+            if tag is None:
+                findings.append(
+                    Finding(
+                        "RPR205",
+                        "JSONL artifact does not start with a schema-tagged "
+                        "header/entry",
+                        str(path),
+                        number,
+                    )
+                )
+                break
+            findings.extend(_check_tag(tag, str(path), number))
+            first_tag = tag if isinstance(tag, str) else ""
+            if findings:
+                break
+            if schema_family(first_tag) != "repro-telemetry":
+                break  # traces only tag the header line
+        elif tag is not None and tag != first_tag:
+            findings.append(
+                Finding(
+                    "RPR205",
+                    f"inconsistent schema tags within one artifact: "
+                    f"{first_tag!r} then {tag!r}",
+                    str(path),
+                    number,
+                )
+            )
+            break
+    return findings
+
+
+def check_artifact_file(path: str | pathlib.Path) -> list[Finding]:
+    """Audit one artifact file; [] when its schema tags are current.
+
+    ``.jsonl`` files are treated as trace/telemetry streams; ``.json``
+    files must be objects carrying a top-level ``schema`` tag.
+    """
+    file_path = pathlib.Path(path)
+    try:
+        text = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [Finding("RPR205", f"cannot read artifact: {exc}", str(path), 1)]
+    if file_path.suffix == ".jsonl":
+        return _check_jsonl_artifact(file_path, text)
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [Finding("RPR205", f"not valid JSON: {exc}", str(path), 1)]
+    if not isinstance(raw, dict):
+        return [
+            Finding(
+                "RPR205",
+                "artifact must be a JSON object with a 'schema' tag",
+                str(path),
+                1,
+            )
+        ]
+    return _check_json_artifact(file_path, raw)

@@ -1,0 +1,313 @@
+"""The buffer-invariant auditor: semantic checks without simulation.
+
+The paper's guarantee — conformant flows stay lossless whenever their
+thresholds fit the shared buffer (Section 2) — rests on invariants the
+fabric only enforces *while running*: per-node threshold sums, link
+capacity over reserved rates, connected routes, feasible churn admission
+regions.  This module verifies them statically, over a
+:class:`~repro.experiments.fabric.NetworkScenario` or a raw spec file,
+mirroring the exact math :mod:`repro.experiments.fabric.build` applies
+at run time (burst inflation via
+:func:`~repro.net.topology.per_hop_sigma`, region selection via the
+scheme family, eqs. 5-9 of the paper).
+
+Invariant findings reuse :class:`repro.lint.findings.Finding` with
+``RPR2##`` codes and a severity:
+
+* scenarios **with churn** must satisfy the full admission region — the
+  fabric raises :class:`~repro.errors.ConfigurationError` otherwise, so
+  violations are ``error`` severity;
+* scenarios **without churn** get ``warning`` severity, and only the
+  conformant subpopulation is booked: overloading a buffer with
+  non-conformant traffic is the paper's own experimental method, but a
+  conformant population outside the region silently voids the lossless
+  guarantee the experiment claims to demonstrate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.analysis.admission import AdmissionControl, FIFOAdmission, Rejection, WFQAdmission
+from repro.errors import ConfigurationError
+from repro.experiments.fabric.build import _CHURN_SCHEMES
+from repro.experiments.fabric.scenario import ChurnSpec, NetworkScenario
+from repro.lint.findings import Finding
+from repro.net.topology import per_hop_sigma
+
+__all__ = [
+    "INVARIANT_CATALOG",
+    "check_scenario",
+    "check_scenario_dict",
+    "check_spec_entry",
+    "check_spec_file",
+]
+
+#: code -> (name, one-line description), the ``--list-invariants`` catalog.
+INVARIANT_CATALOG: dict[str, tuple[str, str]] = {
+    "RPR201": (
+        "buffer-region",
+        "per-flow threshold/burst sums must fit the node buffer "
+        "(buffer-limited admission, eqs. 6/8-9)",
+    ),
+    "RPR202": (
+        "link-capacity",
+        "reserved token rates must not exceed the link rate "
+        "(bandwidth-limited admission, eqs. 5/7)",
+    ),
+    "RPR203": (
+        "scenario-structure",
+        "scenario/spec files must construct: known nodes and links, "
+        "connected routes, positive rates, well-formed workloads",
+    ),
+    "RPR204": (
+        "churn-feasibility",
+        "churn hops must run FIFO-family schemes and leave a residual "
+        "region where at least one template/route pair is admissible",
+    ),
+    "RPR205": (
+        "artifact-schema",
+        "cache/baseline/golden/trace artifacts must carry the current "
+        "*_SCHEMA version tags",
+    ),
+}
+
+
+def _admission_for(
+    scheme, mode: str, rate: float, buffer_size: float
+) -> AdmissionControl:
+    """Mirror of the fabric's region selection (build._admission_for)."""
+    if mode == "fifo":
+        return FIFOAdmission(rate, buffer_size)
+    if mode == "wfq":
+        return WFQAdmission(rate, buffer_size)
+    if scheme in _CHURN_SCHEMES:
+        return FIFOAdmission(rate, buffer_size)
+    return WFQAdmission(rate, buffer_size)
+
+
+def _hop_sigmas(scenario: NetworkScenario) -> dict[int, dict[tuple[str, str], float]]:
+    """Inflated burst envelope per flow per hop, exactly as the fabric
+    computes it before sizing thresholds (build._run_network)."""
+    link_delay = {
+        (link.src, link.dst): scenario.node(link.src).buffer_size / link.rate
+        for link in scenario.links
+    }
+    sigmas: dict[int, dict[tuple[str, str], float]] = {}
+    for routed in scenario.flows:
+        hops = list(zip(routed.route, routed.route[1:]))
+        values = per_hop_sigma(
+            routed.spec.bucket,
+            routed.spec.token_rate,
+            [link_delay[hop] for hop in hops],
+        )
+        sigmas[routed.spec.flow_id] = dict(zip(hops, values))
+    return sigmas
+
+
+def check_scenario(
+    scenario: NetworkScenario, path: str = "<scenario>", name: str = ""
+) -> list[Finding]:
+    """Audit one constructed scenario; returns RPR201/202/204 findings.
+
+    Structural validity (RPR203) is enforced by the constructors; use
+    :func:`check_scenario_dict` to audit raw data through the same gate.
+    """
+    findings: list[Finding] = []
+    prefix = f"spec {name!r}: " if name else ""
+    has_churn = scenario.churn is not None
+    severity = "error" if has_churn else "warning"
+    mode = scenario.churn.admission if has_churn else "auto"
+    hop_sigmas = _hop_sigmas(scenario)
+
+    regions: dict[tuple[str, str], AdmissionControl] = {}
+    for link in scenario.links:
+        node = scenario.node(link.src)
+        regions[(link.src, link.dst)] = _admission_for(
+            node.scheme, mode, link.rate, node.buffer_size
+        )
+
+    # Book the statics hop by hop: with churn this mirrors the fabric's
+    # pre-booking (which raises on failure); without churn only the
+    # conformant flows carry a guarantee worth auditing.
+    booked_clean = True
+    for routed in scenario.flows:
+        if not has_churn and not routed.spec.conformant:
+            continue
+        for key, sigma in hop_sigmas[routed.spec.flow_id].items():
+            region = regions[key]
+            decision = region.admit(sigma, routed.spec.token_rate)
+            if decision:
+                continue
+            booked_clean = False
+            label = f"{key[0]}->{key[1]}"
+            if decision.reason is Rejection.BANDWIDTH_LIMITED:
+                findings.append(
+                    Finding(
+                        "RPR202",
+                        f"{prefix}flow {routed.spec.flow_id} does not fit "
+                        f"link {label}: reserved rates would reach "
+                        f"{region.rho_total + routed.spec.token_rate:.0f} "
+                        f"of {region.link_rate:.0f} bytes/s (eq. 5/7)",
+                        path,
+                        1,
+                        severity=severity,
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        "RPR201",
+                        f"{prefix}flow {routed.spec.flow_id} does not fit "
+                        f"the buffer at link {label}: burst sum "
+                        f"{region.sigma_total + sigma:.0f} bytes needs more "
+                        f"than the {region.buffer_size:.0f}-byte buffer "
+                        "under its admission region (eq. 6/8-9)",
+                        path,
+                        1,
+                        severity=severity,
+                    )
+                )
+
+    if has_churn:
+        findings.extend(
+            _check_churn(scenario, scenario.churn, regions, booked_clean, path, prefix)
+        )
+    return findings
+
+
+def _check_churn(
+    scenario: NetworkScenario,
+    churn: ChurnSpec,
+    regions: dict[tuple[str, str], AdmissionControl],
+    booked_clean: bool,
+    path: str,
+    prefix: str,
+) -> list[Finding]:
+    """RPR204: scheme family at churn hops and residual-region feasibility."""
+    findings: list[Finding] = []
+    churn_nodes = {name for route in churn.routes for name in route[:-1]}
+    schemes_ok = True
+    for node_name in sorted(churn_nodes):
+        node = scenario.node(node_name)
+        if node.scheme not in _CHURN_SCHEMES:
+            schemes_ok = False
+            findings.append(
+                Finding(
+                    "RPR204",
+                    f"{prefix}churn requires a FIFO-family scheme at every "
+                    f"hop; node {node_name} runs {node.scheme.name} whose "
+                    "scheduler cannot accept dynamically arriving flows",
+                    path,
+                    1,
+                )
+            )
+    if not booked_clean or not schemes_ok:
+        # The fabric raises before churn starts; feasibility over a
+        # partially booked or mis-schemed region would be noise.
+        return findings
+
+    link_delay = {
+        (link.src, link.dst): scenario.node(link.src).buffer_size / link.rate
+        for link in scenario.links
+    }
+    admissible_pairs = 0
+    for template in churn.templates:
+        for route in churn.routes:
+            hops = list(zip(route, route[1:]))
+            sigmas = per_hop_sigma(
+                template.bucket,
+                template.token_rate,
+                [link_delay[hop] for hop in hops],
+            )
+            if all(
+                regions[hop].check(sigma, template.token_rate)
+                for hop, sigma in zip(hops, sigmas)
+            ):
+                admissible_pairs += 1
+    if admissible_pairs == 0:
+        findings.append(
+            Finding(
+                "RPR204",
+                f"{prefix}churn admission region is infeasible: after "
+                "booking the static flows, no template/route pair fits at "
+                "every hop — every dynamic arrival would be blocked",
+                path,
+                1,
+            )
+        )
+    return findings
+
+
+def check_scenario_dict(raw, path: str = "<scenario>", name: str = "") -> list[Finding]:
+    """Audit raw scenario data: construction errors become RPR203."""
+    prefix = f"spec {name!r}: " if name else ""
+    try:
+        scenario = NetworkScenario.from_dict(raw)
+    except ConfigurationError as exc:
+        return [Finding("RPR203", f"{prefix}{exc}", path, 1)]
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        return [
+            Finding("RPR203", f"{prefix}malformed scenario: {exc!r}", path, 1)
+        ]
+    return check_scenario(scenario, path, name)
+
+
+def check_spec_entry(raw: dict, path: str, index: int = 0) -> list[Finding]:
+    """Audit one spec-file entry (single-port or network form)."""
+    # Imported here: the spec module pulls in the campaign runner, which
+    # the lint/check import path must not load eagerly.
+    from repro.experiments.spec import NetworkSpec, ScenarioSpec
+
+    label = str(raw.get("name", f"entry {index}")) if isinstance(raw, dict) else f"entry {index}"
+    if not isinstance(raw, dict):
+        return [
+            Finding(
+                "RPR203",
+                f"spec entry {index} must be a JSON object, got "
+                f"{type(raw).__name__}",
+                path,
+                1,
+            )
+        ]
+    try:
+        if "network" in raw:
+            spec = NetworkSpec.from_dict(raw)
+            scenario = spec.scenario
+        else:
+            single = ScenarioSpec.from_dict(raw)
+            scenario = NetworkScenario.single_node(
+                single.flows,
+                single.scheme,
+                single.buffer_bytes,
+                link_rate=single.link_rate,
+                sim_time=single.sim_time,
+                headroom=single.headroom,
+                groups=single.groups,
+            )
+    except ConfigurationError as exc:
+        return [Finding("RPR203", f"spec {label!r}: {exc}", path, 1)]
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        return [
+            Finding("RPR203", f"spec {label!r}: malformed entry: {exc!r}", path, 1)
+        ]
+    return check_scenario(scenario, path, label)
+
+
+def check_spec_file(path: str | pathlib.Path) -> list[Finding]:
+    """Audit a JSON spec file (one spec object or a list of them)."""
+    file_path = str(path)
+    try:
+        raw = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        return [Finding("RPR203", f"cannot read spec file: {exc}", file_path, 1)]
+    except json.JSONDecodeError as exc:
+        return [Finding("RPR203", f"not valid JSON: {exc}", file_path, 1)]
+    entries = raw if isinstance(raw, list) else [raw]
+    if not entries:
+        return [Finding("RPR203", "spec file contains no entries", file_path, 1)]
+    findings: list[Finding] = []
+    for index, entry in enumerate(entries):
+        findings.extend(check_spec_entry(entry, file_path, index))
+    return findings

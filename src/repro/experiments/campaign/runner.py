@@ -121,6 +121,12 @@ class CampaignRunner:
         telemetry_dir: when given, each :meth:`run` writes its batch
             telemetry as JSONL under this directory (one line per unique
             job; see :mod:`repro.obs.telemetry`).
+        preflight: when true, jobs that carry a network scenario are
+            audited against the buffer-management invariants
+            (:mod:`repro.check.invariants`) before anything executes; an
+            error-severity finding aborts the whole batch with
+            :class:`~repro.errors.ConfigurationError` rather than burning
+            simulation time on a scenario that cannot admit its flows.
     """
 
     __slots__ = (
@@ -128,6 +134,7 @@ class CampaignRunner:
         "cache",
         "chunk_size",
         "telemetry_dir",
+        "preflight",
         "last_stats",
         "last_report",
     )
@@ -138,6 +145,7 @@ class CampaignRunner:
         cache: ResultCache | None = None,
         chunk_size: int | None = None,
         telemetry_dir=None,
+        preflight: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -147,6 +155,7 @@ class CampaignRunner:
         self.cache = cache
         self.chunk_size = chunk_size
         self.telemetry_dir = telemetry_dir
+        self.preflight = preflight
         self.last_stats: CampaignStats | None = None
         self.last_report: CampaignReport | None = None
 
@@ -160,6 +169,8 @@ class CampaignRunner:
         unique: dict[str, ScenarioJob] = {}
         for digest, job in zip(digests, jobs):
             unique.setdefault(digest, job)
+        if self.preflight:
+            self._preflight(unique)
 
         records: dict[str, ScenarioRecord] = {}
         if self.cache is not None:
@@ -209,6 +220,40 @@ class CampaignRunner:
         if self.cache is not None:
             self.cache.persist_stats()
         return [records[digest] for digest in digests]
+
+    @staticmethod
+    def _preflight(unique: dict[str, ScenarioJob]) -> None:
+        """Audit network scenarios before spending any simulation time.
+
+        Only jobs that expose a ``scenario`` attribute (the fabric's
+        ``NetworkJob``) are auditable; classic single-port jobs pass
+        through untouched — their parameters are already validated at
+        construction time.  Raises :class:`ConfigurationError` listing
+        every error-severity finding across the batch.
+        """
+        # Lazy import: repro.check.invariants pulls in the fabric and
+        # admission machinery, none of which the runner otherwise needs.
+        from repro.check.invariants import check_scenario
+
+        failures = []
+        for digest, job in unique.items():
+            scenario = getattr(job, "scenario", None)
+            if scenario is None:
+                continue
+            label = f"<job {digest[:12]}>"
+            failures.extend(
+                finding
+                for finding in check_scenario(scenario, path=label)
+                if finding.severity == "error"
+            )
+        if failures:
+            detail = "\n".join(
+                f"  {f.path}: {f.rule_id} {f.message}" for f in failures
+            )
+            raise ConfigurationError(
+                f"campaign pre-flight rejected the batch: "
+                f"{len(failures)} invariant violation(s)\n{detail}"
+            )
 
     def _execute(self, jobs: list[ScenarioJob]) -> list[ScenarioRecord]:
         workers = min(self.workers, len(jobs))

@@ -9,12 +9,21 @@ package enforces them mechanically:
 
 ========  ====================================================
 RPR001    malformed ``# repro: noqa`` suppression comment
+RPR002    stale suppression (pragma id that never fires)
 RPR101    determinism (no wall clock, global random, id()-order)
 RPR102    units (no magic-number conversions; use repro.units)
 RPR103    error discipline (ReproError, not bare built-ins)
 RPR104    sim-time safety (no float ``==`` on times)
 RPR105    hot-path hygiene (__slots__, no mutable defaults)
+RPR106    port encapsulation (OutputPort via the fabric only)
+RPR107    RNG lineage (seeded roots, spawn() per consumer)
+RPR108    trace-event registration (EVENT_TYPES completeness)
+RPR109    hot-loop time accumulation (no ``+=`` on sim times)
 ========  ====================================================
+
+RPR107–109 are whole-program rules living in :mod:`repro.check`; they
+run as part of every full lint pass.  The buffer-invariant auditor
+(``repro check``, RPR2xx) is documented in ``docs/checking.md``.
 
 Run it with ``python -m repro.lint src/ tests/`` or the ``repro-lint``
 console script; see :mod:`repro.lint.cli` for the exit-code contract and

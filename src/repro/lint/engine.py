@@ -5,6 +5,15 @@ The engine is deliberately pure: it maps source text to a sorted list of
 exit codes to :mod:`repro.lint.reporters` / :mod:`repro.lint.cli`.  File
 discovery sorts paths so the pass is deterministic — the same invariant
 the linter enforces on the simulator.
+
+Since the whole-program upgrade the pass has two stages: every file is
+parsed exactly **once** into a :class:`~repro.lint.registry.LintContext`
+(whose node index is shared across all per-file rules), then the parsed
+contexts are assembled into a :class:`repro.check.project.ProjectContext`
+for the cross-module :class:`~repro.lint.registry.ProjectRule` checks
+(RNG lineage, trace-event registration, ...).  Suppression pragmas are
+tracked per rule id; on a full-rule run any pragma id that never shielded
+a finding is reported as an **RPR002** stale-suppression meta-finding.
 """
 
 from __future__ import annotations
@@ -14,13 +23,88 @@ import pathlib
 from typing import Iterable, Sequence
 
 from repro.lint.findings import Finding, LintParseError, LintUsageError
-from repro.lint.registry import LintContext, Rule, resolve_rule_ids
-from repro.lint.suppressions import scan_suppressions
+from repro.lint.registry import LintContext, ProjectRule, resolve_rule_ids
+from repro.lint.suppressions import SuppressionTable, scan_suppressions
 
-# Import for the side effect of registering the shipped rules.
+# Imports for the side effect of registering the shipped rules.
 from repro.lint import rules as _rules  # noqa: F401  (registration import)
+from repro.check import program_rules as _program_rules  # noqa: F401  (registration import)
 
 __all__ = ["lint_source", "lint_file", "lint_paths", "unsuppressed"]
+
+
+def _apply_suppression(finding: Finding, table: SuppressionTable) -> None:
+    if table.covers(finding.line, finding.rule_id):
+        finding.suppressed = True
+        finding.suppress_reason = table.reason(finding.line, finding.rule_id)
+        table.mark_used(finding.line, finding.rule_id)
+
+
+def _stale_pragma_findings(path: str, table: SuppressionTable) -> list[Finding]:
+    """RPR002 meta-findings for pragma ids that never shielded anything."""
+    findings: list[Finding] = []
+    for pragma in table.pragmas:
+        unused = pragma.unused_ids()
+        if not unused:
+            continue
+        ids = ", ".join(unused)
+        findings.append(
+            Finding(
+                "RPR002",
+                f"stale suppression: {ids} never fired here — remove the "
+                "pragma (or the dead rule id) so it cannot mask the next "
+                "real violation on this line",
+                path,
+                pragma.line,
+                pragma.col,
+            )
+        )
+    return findings
+
+
+def _analyze(contexts: Sequence[LintContext], select: Iterable[str] | None) -> list[Finding]:
+    """Run the full two-stage pass over already-parsed files."""
+    rules = resolve_rule_ids(select)
+    file_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    findings: list[Finding] = []
+    tables: dict[str, SuppressionTable] = {}
+    for ctx in contexts:
+        table, meta = scan_suppressions(ctx.source, ctx.path)
+        tables[ctx.path] = table
+        findings.extend(meta)
+        for rule in file_rules:
+            if rule.library_only and not ctx.is_library:
+                continue
+            for finding in rule.check(ctx):
+                _apply_suppression(finding, table)
+                findings.append(finding)
+    if project_rules:
+        from repro.check.project import build_project
+
+        project = build_project(contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                table = tables.get(finding.path)
+                if table is not None:
+                    _apply_suppression(finding, table)
+                findings.append(finding)
+    if select is None:
+        # Stale-pragma detection only makes sense when every rule ran:
+        # a restricted --select pass leaves most pragmas legitimately
+        # unexercised.  RPR001/RPR002 meta-findings are not suppressible.
+        for path in sorted(tables):
+            findings.extend(_stale_pragma_findings(path, tables[path]))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _parse(source: str, path: str) -> LintContext:
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        raise LintParseError(f"{path}: {exc}") from exc
+    return LintContext(path, source, tree)
 
 
 def lint_source(
@@ -28,7 +112,7 @@ def lint_source(
     path: str = "src/repro/<snippet>.py",
     select: Iterable[str] | None = None,
 ) -> list[Finding]:
-    """Analyze one unit of source text.
+    """Analyze one unit of source text (a single-file project).
 
     Args:
         source: Python source to analyze.
@@ -38,39 +122,27 @@ def lint_source(
 
     Returns:
         All findings sorted by location, suppressed ones included (with
-        ``suppressed=True``).  RPR001 suppression meta-findings are never
-        themselves suppressible.
+        ``suppressed=True``).  RPR001/RPR002 suppression meta-findings
+        are never themselves suppressible.
 
     Raises:
         LintParseError: the source is not valid Python.
     """
-    try:
-        tree = ast.parse(source, filename=path)
-    except (SyntaxError, ValueError) as exc:
-        raise LintParseError(f"{path}: {exc}") from exc
-    ctx = LintContext(path, source, tree)
-    table, findings = scan_suppressions(source, path)
-    for rule in resolve_rule_ids(select):
-        if rule.library_only and not ctx.is_library:
-            continue
-        for finding in rule.check(ctx):
-            if table.covers(finding.line, finding.rule_id):
-                finding.suppressed = True
-                finding.suppress_reason = table.reason(finding.line, finding.rule_id)
-            findings.append(finding)
-    findings.sort(key=Finding.sort_key)
-    return findings
+    return _analyze([_parse(source, path)], select)
 
 
-def lint_file(path: pathlib.Path, select: Iterable[str] | None = None) -> list[Finding]:
-    """Analyze one file on disk."""
+def _read(path: pathlib.Path) -> str:
     try:
-        source = path.read_text(encoding="utf-8")
+        return path.read_text(encoding="utf-8")
     except OSError as exc:
         raise LintUsageError(f"cannot read {path}: {exc}") from exc
     except UnicodeDecodeError as exc:
         raise LintParseError(f"{path}: not valid UTF-8 ({exc})") from exc
-    return lint_source(source, str(path), select)
+
+
+def lint_file(path: pathlib.Path, select: Iterable[str] | None = None) -> list[Finding]:
+    """Analyze one file on disk."""
+    return _analyze([_parse(_read(path), str(path))], select)
 
 
 def _discover(paths: Sequence[str]) -> list[pathlib.Path]:
@@ -91,6 +163,9 @@ def lint_paths(
 ) -> list[Finding]:
     """Analyze files and directories (recursing into ``*.py``).
 
+    All files are parsed first (each exactly once), then the per-file
+    and whole-program rules run over the shared parse results.
+
     Raises:
         LintUsageError: a path does not exist or no files were found.
         LintParseError: some file is not parseable Python.
@@ -98,12 +173,9 @@ def lint_paths(
     files = _discover(paths)
     if not files:
         raise LintUsageError(f"no Python files found under: {', '.join(paths)}")
-    findings: list[Finding] = []
     select_list = sorted(select) if select is not None else None
-    for file_path in files:
-        findings.extend(lint_file(file_path, select_list))
-    findings.sort(key=Finding.sort_key)
-    return findings
+    contexts = [_parse(_read(file_path), str(file_path)) for file_path in files]
+    return _analyze(contexts, select_list)
 
 
 def unsuppressed(findings: Iterable[Finding]) -> list[Finding]:

@@ -33,9 +33,22 @@ class Finding:
             finding; suppressed findings never affect the exit code.
         suppress_reason: free-text reason attached to the suppression
             comment (empty string when none was given).
+        severity: ``"error"`` (default) or ``"warning"``.  Lint rules
+            only emit errors; the invariant auditor (:mod:`repro.check`)
+            downgrades guarantee-not-assured diagnostics to warnings,
+            which do not affect the exit code unless ``--strict``.
     """
 
-    __slots__ = ("rule_id", "message", "path", "line", "col", "suppressed", "suppress_reason")
+    __slots__ = (
+        "rule_id",
+        "message",
+        "path",
+        "line",
+        "col",
+        "suppressed",
+        "suppress_reason",
+        "severity",
+    )
 
     def __init__(
         self,
@@ -46,6 +59,7 @@ class Finding:
         col: int = 0,
         suppressed: bool = False,
         suppress_reason: str = "",
+        severity: str = "error",
     ) -> None:
         self.rule_id = rule_id
         self.message = message
@@ -54,6 +68,7 @@ class Finding:
         self.col = col
         self.suppressed = suppressed
         self.suppress_reason = suppress_reason
+        self.severity = severity
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule_id)
@@ -70,6 +85,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "severity": self.severity,
             "suppressed": self.suppressed,
             "suppress_reason": self.suppress_reason,
         }

@@ -19,7 +19,15 @@ from typing import Iterable, Iterator
 
 from repro.lint.findings import Finding, LintUsageError
 
-__all__ = ["LintContext", "Rule", "register", "all_rules", "resolve_rule_ids", "RULE_REGISTRY"]
+__all__ = [
+    "LintContext",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "resolve_rule_ids",
+    "RULE_REGISTRY",
+]
 
 #: Path components / filename prefixes marking non-library code.
 _NON_LIBRARY_DIRS = frozenset({"tests", "benchmarks", "examples"})
@@ -27,9 +35,14 @@ _NON_LIBRARY_PREFIXES = ("test_", "bench_", "conftest")
 
 
 class LintContext:
-    """Everything a rule may inspect about one source file."""
+    """Everything a rule may inspect about one source file.
 
-    __slots__ = ("path", "source", "tree", "lines", "is_library")
+    The AST is walked **once** and indexed by exact node type; rules ask
+    for the node kinds they care about via :meth:`select` instead of
+    re-walking the whole tree per rule.
+    """
+
+    __slots__ = ("path", "source", "tree", "lines", "is_library", "_node_index")
 
     def __init__(self, path: str, source: str, tree: ast.Module) -> None:
         self.path = path
@@ -37,6 +50,27 @@ class LintContext:
         self.tree = tree
         self.lines = source.splitlines()
         self.is_library = _is_library_path(path)
+        self._node_index: dict[type, list[ast.AST]] | None = None
+
+    def select(self, *node_types: type) -> list[ast.AST]:
+        """All nodes of the given exact types, in one shared walk.
+
+        Matching is by ``type(node)``, not ``isinstance``: callers name
+        every concrete class they want (``select(ast.FunctionDef,
+        ast.AsyncFunctionDef)``).
+        """
+        index = self._node_index
+        if index is None:
+            index = {}
+            for node in ast.walk(self.tree):
+                index.setdefault(type(node), []).append(node)
+            self._node_index = index
+        if len(node_types) == 1:
+            return index.get(node_types[0], [])
+        nodes: list[ast.AST] = []
+        for node_type in node_types:
+            nodes.extend(index.get(node_type, []))
+        return nodes
 
     def finding(self, rule_id: str, message: str, node: ast.AST) -> Finding:
         """Build a finding anchored at ``node``'s location."""
@@ -77,6 +111,24 @@ class Rule(ABC):
     @abstractmethod
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         """Yield findings for one file."""
+
+
+class ProjectRule(Rule):
+    """A rule that sees the whole program at once.
+
+    Project rules run after every file has been parsed and indexed; they
+    receive a :class:`repro.check.project.ProjectContext` (module symbol
+    tables + import graph) and may anchor findings in any file.  For
+    ``library_only`` project rules the per-file scoping cannot be applied
+    by the engine, so the rule itself must skip non-library modules.
+    """
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings across the whole parsed project."""
 
 
 RULE_REGISTRY: dict[str, type[Rule]] = {}

@@ -32,7 +32,10 @@ def render_text(findings: list[Finding], show_suppressed: bool = False) -> str:
     lines: list[str] = []
     active = [finding for finding in findings if not finding.suppressed]
     for finding in active:
-        lines.append(f"{finding.location()}: {finding.rule_id} {finding.message}")
+        marker = "warning: " if finding.severity == "warning" else ""
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} {marker}{finding.message}"
+        )
     hidden = [finding for finding in findings if finding.suppressed]
     if show_suppressed and hidden:
         lines.append("")

@@ -86,37 +86,36 @@ class DeterminismRule(Rule):
     _ORDERING_CALLS = frozenset({"sorted", "min", "max", "sort"})
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name == "random" or alias.name.startswith("random."):
-                        yield ctx.finding(
-                            self.id,
-                            "import of stdlib 'random' (module-level global "
-                            "state); use a seeded numpy Generator passed in "
-                            "explicitly",
-                            node,
-                        )
-            elif isinstance(node, ast.ImportFrom):
-                if node.module == "random":
+        for node in ctx.select(ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
                     yield ctx.finding(
                         self.id,
-                        "import from stdlib 'random' (module-level global "
+                        "import of stdlib 'random' (module-level global "
                         "state); use a seeded numpy Generator passed in "
                         "explicitly",
                         node,
                     )
-            elif isinstance(node, ast.Call):
-                yield from self._check_call(ctx, node)
-            elif isinstance(node, (ast.For, ast.comprehension)):
-                iter_node = node.iter
-                if self._is_set_expression(iter_node):
-                    yield ctx.finding(
-                        self.id,
-                        "iteration over an unordered set; sort it before "
-                        "letting it feed scheduling or accounting decisions",
-                        iter_node,
-                    )
+        for node in ctx.select(ast.ImportFrom):
+            if node.module == "random":
+                yield ctx.finding(
+                    self.id,
+                    "import from stdlib 'random' (module-level global "
+                    "state); use a seeded numpy Generator passed in "
+                    "explicitly",
+                    node,
+                )
+        for node in ctx.select(ast.Call):
+            yield from self._check_call(ctx, node)
+        for node in ctx.select(ast.For, ast.comprehension):
+            iter_node = node.iter
+            if self._is_set_expression(iter_node):
+                yield ctx.finding(
+                    self.id,
+                    "iteration over an unordered set; sort it before "
+                    "letting it feed scheduling or accounting decisions",
+                    iter_node,
+                )
 
     def _check_call(self, ctx: LintContext, node: ast.Call) -> Iterator[Finding]:
         dotted = _dotted_name(node.func)
@@ -191,7 +190,7 @@ class UnitsRule(Rule):
     )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        chain_roots = self._multiplicative_chain_roots(ctx.tree)
+        chain_roots = self._multiplicative_chain_roots(ctx)
         for root in chain_roots:
             constants, others = self._chain_leaves(root)
             if not others:
@@ -210,25 +209,21 @@ class UnitsRule(Rule):
                 )
 
     @staticmethod
-    def _multiplicative_chain_roots(tree: ast.Module) -> list[ast.BinOp]:
+    def _multiplicative_chain_roots(ctx: LintContext) -> list[ast.BinOp]:
         """Top-most Mult/Div BinOps (each chain reported once)."""
+        binops = [
+            node
+            for node in ctx.select(ast.BinOp)
+            if isinstance(node.op, (ast.Mult, ast.Div))
+        ]
         children_of_chains: set[int] = set()
-        roots: list[ast.BinOp] = []
-        for node in ast.walk(tree):
-            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mult, ast.Div)):
-                for side in (node.left, node.right):
-                    if isinstance(side, ast.BinOp) and isinstance(
-                        side.op, (ast.Mult, ast.Div)
-                    ):
-                        children_of_chains.add(id(side))
-        for node in ast.walk(tree):
-            if (
-                isinstance(node, ast.BinOp)
-                and isinstance(node.op, (ast.Mult, ast.Div))
-                and id(node) not in children_of_chains
-            ):
-                roots.append(node)
-        return roots
+        for node in binops:
+            for side in (node.left, node.right):
+                if isinstance(side, ast.BinOp) and isinstance(
+                    side.op, (ast.Mult, ast.Div)
+                ):
+                    children_of_chains.add(id(side))
+        return [node for node in binops if id(node) not in children_of_chains]
 
     @classmethod
     def _chain_leaves(cls, node: ast.AST) -> tuple[list[float], list[ast.AST]]:
@@ -278,29 +273,30 @@ class ErrorDisciplineRule(Rule):
     )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Assert):
+        for node in ctx.select(ast.Assert):
+            yield ctx.finding(
+                self.id,
+                "assert in library code is stripped under 'python -O'; "
+                "raise SimulationError/ConfigurationError explicitly",
+                node,
+            )
+        for node in ctx.select(ast.Raise):
+            if node.exc is None:
+                continue
+            exc = node.exc
+            name = ""
+            if isinstance(exc, ast.Call):
+                name = _dotted_name(exc.func)
+            elif isinstance(exc, (ast.Name, ast.Attribute)):
+                name = _dotted_name(exc)
+            if name.rsplit(".", maxsplit=1)[-1] in self._BANNED_EXCEPTIONS:
                 yield ctx.finding(
                     self.id,
-                    "assert in library code is stripped under 'python -O'; "
-                    "raise SimulationError/ConfigurationError explicitly",
+                    f"raise of bare {name}; internal inconsistencies "
+                    "must surface as a ReproError subclass "
+                    "(SimulationError, ConfigurationError, ...)",
                     node,
                 )
-            elif isinstance(node, ast.Raise) and node.exc is not None:
-                exc = node.exc
-                name = ""
-                if isinstance(exc, ast.Call):
-                    name = _dotted_name(exc.func)
-                elif isinstance(exc, (ast.Name, ast.Attribute)):
-                    name = _dotted_name(exc)
-                if name.rsplit(".", maxsplit=1)[-1] in self._BANNED_EXCEPTIONS:
-                    yield ctx.finding(
-                        self.id,
-                        f"raise of bare {name}; internal inconsistencies "
-                        "must surface as a ReproError subclass "
-                        "(SimulationError, ConfigurationError, ...)",
-                        node,
-                    )
 
 
 @register
@@ -321,11 +317,10 @@ class SimTimeRule(Rule):
     _SCHEDULE_CALLS = frozenset({"schedule", "schedule_at", "call_later"})
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Compare):
-                yield from self._check_compare(ctx, node)
-            elif isinstance(node, ast.Call):
-                yield from self._check_schedule(ctx, node)
+        for node in ctx.select(ast.Compare):
+            yield from self._check_compare(ctx, node)
+        for node in ctx.select(ast.Call):
+            yield from self._check_schedule(ctx, node)
 
     def _check_compare(self, ctx: LintContext, node: ast.Compare) -> Iterator[Finding]:
         operands = [node.left, *node.comparators]
@@ -381,8 +376,8 @@ class HotPathRule(Rule):
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         if self._in_slots_scope(ctx.path):
-            for node in ast.walk(ctx.tree):
-                if isinstance(node, ast.ClassDef) and self._needs_slots(node):
+            for node in ctx.select(ast.ClassDef):
+                if self._needs_slots(node):
                     yield ctx.finding(
                         self.id,
                         f"class {node.name} in a hot-path package lacks "
@@ -390,9 +385,8 @@ class HotPathRule(Rule):
                         "millions of packets",
                         node,
                     )
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from self._check_defaults(ctx, node)
+        for node in ctx.select(ast.FunctionDef, ast.AsyncFunctionDef):
+            yield from self._check_defaults(ctx, node)
 
     @classmethod
     def _in_slots_scope(cls, path: str) -> bool:
@@ -469,12 +463,8 @@ class PortEncapsulationRule(Rule):
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         if self._is_port_layer(ctx.path):
             return
-        for node in ast.walk(ctx.tree):
-            if (
-                isinstance(node, ast.Call)
-                and _dotted_name(node.func).rsplit(".", maxsplit=1)[-1]
-                == "OutputPort"
-            ):
+        for node in ctx.select(ast.Call):
+            if _dotted_name(node.func).rsplit(".", maxsplit=1)[-1] == "OutputPort":
                 yield ctx.finding(
                     self.id,
                     "direct OutputPort construction outside the port "

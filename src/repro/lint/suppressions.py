@@ -15,6 +15,12 @@ typo in a suppression would otherwise re-enable the violation it was
 meant to acknowledge.  Blanket suppressions without an explicit rule list
 are rejected for the same reason.
 
+Well-formed pragmas are tracked per rule id: the engine marks each
+(line, rule) pair that actually shielded a finding, and any rule id a
+pragma names that never fired becomes an **RPR002** meta-finding.  Stale
+suppressions otherwise rot silently and hide the *next* violation on
+that line.
+
 Comments are located with :mod:`tokenize`, so the pattern inside a string
 literal (e.g. in the linter's own test-suite) is never treated as a
 suppression.
@@ -28,7 +34,7 @@ import tokenize
 
 from repro.lint.findings import Finding
 
-__all__ = ["SuppressionTable", "scan_suppressions"]
+__all__ = ["Pragma", "SuppressionTable", "scan_suppressions"]
 
 #: Marker that makes a comment a suppression candidate.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa\b(?P<rest>.*)", re.IGNORECASE)
@@ -38,24 +44,57 @@ _RULE_ID_RE = re.compile(r"\bRPR\d{3}\b")
 _REASON_SPLIT_RE = re.compile(r"\s+[—:-]+\s+|\s*—\s*")
 
 
-class SuppressionTable:
-    """Maps source lines to the rule ids suppressed on them."""
+class Pragma:
+    """One well-formed suppression comment and its usage state."""
 
-    __slots__ = ("_by_line",)
+    __slots__ = ("line", "col", "rule_ids", "reason", "covered_lines", "used_ids")
+
+    def __init__(
+        self,
+        line: int,
+        col: int,
+        rule_ids: tuple[str, ...],
+        reason: str,
+        covered_lines: tuple[int, ...],
+    ) -> None:
+        self.line = line
+        self.col = col
+        self.rule_ids = rule_ids
+        self.reason = reason
+        self.covered_lines = covered_lines
+        self.used_ids: set[str] = set()
+
+    def unused_ids(self) -> list[str]:
+        return [rule_id for rule_id in self.rule_ids if rule_id not in self.used_ids]
+
+
+class SuppressionTable:
+    """Maps source lines to the pragmas suppressing rules on them."""
+
+    __slots__ = ("_by_line", "pragmas")
 
     def __init__(self) -> None:
-        self._by_line: dict[int, dict[str, str]] = {}
+        self._by_line: dict[int, dict[str, Pragma]] = {}
+        self.pragmas: list[Pragma] = []
 
-    def add(self, line: int, rule_ids: list[str], reason: str) -> None:
-        entry = self._by_line.setdefault(line, {})
-        for rule_id in rule_ids:
-            entry[rule_id] = reason
+    def add(self, pragma: Pragma) -> None:
+        self.pragmas.append(pragma)
+        for line in pragma.covered_lines:
+            entry = self._by_line.setdefault(line, {})
+            for rule_id in pragma.rule_ids:
+                entry[rule_id] = pragma
 
     def covers(self, line: int, rule_id: str) -> bool:
         return rule_id in self._by_line.get(line, {})
 
     def reason(self, line: int, rule_id: str) -> str:
-        return self._by_line.get(line, {}).get(rule_id, "")
+        pragma = self._by_line.get(line, {}).get(rule_id)
+        return pragma.reason if pragma is not None else ""
+
+    def mark_used(self, line: int, rule_id: str) -> None:
+        pragma = self._by_line.get(line, {}).get(rule_id)
+        if pragma is not None:
+            pragma.used_ids.add(rule_id)
 
     def __len__(self) -> int:
         return len(self._by_line)
@@ -111,8 +150,7 @@ def scan_suppressions(source: str, path: str) -> tuple[SuppressionTable, list[Fi
                 )
             )
             continue
-        table.add(line, rule_ids, reason)
-        standalone = token.line[: col].strip() == ""
-        if standalone:
-            table.add(line + 1, rule_ids, reason)
+        standalone = token.line[:col].strip() == ""
+        covered = (line, line + 1) if standalone else (line,)
+        table.add(Pragma(line, col, tuple(rule_ids), reason, covered))
     return table, meta

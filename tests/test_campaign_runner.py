@@ -135,3 +135,50 @@ class TestValidation:
     def test_chunk_size_must_be_positive(self):
         with pytest.raises(ConfigurationError):
             CampaignRunner(chunk_size=0)
+
+
+class TestPreflight:
+    """The invariant audit that runs before any simulation time is spent."""
+
+    def _network_job(self, *, buffer_size=None):
+        import dataclasses
+
+        from repro.experiments.campaign.network import NetworkJob
+        from repro.experiments.fabric.demo import demo_tandem
+
+        scenario = demo_tandem(hops=2, sim_time=0.5, delay_histograms=False)
+        if buffer_size is not None:
+            scenario = dataclasses.replace(
+                scenario,
+                nodes=tuple(
+                    node
+                    if node.buffer_size is None
+                    else dataclasses.replace(node, buffer_size=buffer_size)
+                    for node in scenario.nodes
+                ),
+            )
+        return NetworkJob(scenario=scenario)
+
+    def test_clean_scenario_passes_preflight(self):
+        job = self._network_job()
+        [record] = CampaignRunner(preflight=True).run([job])
+        assert record.job_digest == job.digest()
+
+    def test_infeasible_scenario_rejected_before_execution(self):
+        runner = CampaignRunner(preflight=True)
+        with pytest.raises(ConfigurationError, match="pre-flight"):
+            runner.run([self._network_job(buffer_size=2000.0)])
+        assert runner.last_stats is None  # nothing executed
+
+    def test_preflight_off_by_default(self):
+        # The fabric itself still raises at churn start, so the batch
+        # fails either way — but without preflight the error comes from
+        # the run, not the auditor.
+        runner = CampaignRunner()
+        with pytest.raises(ConfigurationError) as excinfo:
+            runner.run([self._network_job(buffer_size=2000.0)])
+        assert "pre-flight" not in str(excinfo.value)
+
+    def test_single_port_jobs_skip_preflight(self):
+        [record] = CampaignRunner(preflight=True).run([sweep_jobs()[0]])
+        assert record.events_processed > 0

@@ -1,0 +1,128 @@
+"""Artifact schema audits (RPR205): drift, tampering, stream formats."""
+
+import json
+import pathlib
+
+from repro.bench.baseline import BENCH_SCHEMA
+from repro.check.artifacts import (
+    GOLDENS_SCHEMA,
+    KNOWN_SCHEMAS,
+    check_artifact_file,
+    schema_family,
+)
+from repro.obs.events import TRACE_SCHEMA
+from repro.obs.telemetry import TELEMETRY_SCHEMA
+
+BASELINE = pathlib.Path("benchmarks/baselines/BENCH_ci-reference.json")
+GOLDENS = pathlib.Path("tests/data/equivalence_goldens.json")
+
+
+def codes(findings):
+    return [finding.rule_id for finding in findings]
+
+
+class TestSchemaFamily:
+    def test_versioned_tags_split_on_suffix(self):
+        assert schema_family("repro-bench-v1") == "repro-bench"
+        assert schema_family("repro-campaign-net-v3") == "repro-campaign-net"
+
+    def test_unversioned_tags_have_no_family(self):
+        assert schema_family("repro-bench") == ""
+        assert schema_family("repro-bench-vNaN") == ""
+
+    def test_every_known_tag_maps_back_to_its_family(self):
+        for family, tag in KNOWN_SCHEMAS.items():
+            assert schema_family(tag) == family
+
+
+class TestCommittedArtifacts:
+    def test_reference_baseline_is_current(self):
+        assert check_artifact_file(BASELINE) == []
+
+    def test_equivalence_goldens_are_current(self):
+        assert check_artifact_file(GOLDENS) == []
+
+
+class TestJsonArtifacts:
+    def test_stale_schema_version_is_drift(self, tmp_path):
+        target = tmp_path / "old.json"
+        target.write_text(json.dumps({"schema": "repro-bench-v0"}), encoding="utf-8")
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "drift" in findings[0].message
+
+    def test_unknown_schema_family(self, tmp_path):
+        target = tmp_path / "alien.json"
+        target.write_text(json.dumps({"schema": "other-tool-v1"}), encoding="utf-8")
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "unknown artifact schema family" in findings[0].message
+
+    def test_missing_schema_tag(self, tmp_path):
+        target = tmp_path / "untagged.json"
+        target.write_text(json.dumps({"results": []}), encoding="utf-8")
+        assert codes(check_artifact_file(target)) == ["RPR205"]
+
+    def test_tampered_baseline_fails_integrity(self, tmp_path):
+        raw = json.loads(BASELINE.read_text(encoding="utf-8"))
+        case = next(iter(raw["cases"]))
+        raw["cases"][case]["events"] = raw["cases"][case]["events"] + 1
+        target = tmp_path / "BENCH_tampered.json"
+        target.write_text(json.dumps(raw), encoding="utf-8")
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "baseline rejected" in findings[0].message
+
+    def test_non_object_artifact(self, tmp_path):
+        target = tmp_path / "list.json"
+        target.write_text("[1, 2]", encoding="utf-8")
+        assert codes(check_artifact_file(target)) == ["RPR205"]
+
+    def test_goldens_tag_matches_equivalence_test_pin(self):
+        assert json.loads(GOLDENS.read_text(encoding="utf-8"))["schema"] == GOLDENS_SCHEMA
+
+
+class TestJsonlArtifacts:
+    def test_current_trace_header_is_clean(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text(
+            json.dumps({"schema": TRACE_SCHEMA})
+            + "\n"
+            + json.dumps({"kind": "enqueue", "t": 0.1})
+            + "\n",
+            encoding="utf-8",
+        )
+        assert check_artifact_file(target) == []
+
+    def test_stale_trace_header_is_drift(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text(json.dumps({"schema": "repro-trace-v1"}) + "\n", encoding="utf-8")
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert TRACE_SCHEMA in findings[0].message
+
+    def test_untagged_first_line_is_flagged(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text(json.dumps({"kind": "enqueue"}) + "\n", encoding="utf-8")
+        assert codes(check_artifact_file(target)) == ["RPR205"]
+
+    def test_telemetry_checks_every_line(self, tmp_path):
+        target = tmp_path / "telemetry.jsonl"
+        lines = [
+            {"schema": TELEMETRY_SCHEMA, "wall_time": 0.2},
+            {"schema": "repro-telemetry-v9", "wall_time": 0.3},
+        ]
+        target.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines), encoding="utf-8"
+        )
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "inconsistent" in findings[0].message
+
+    def test_unparsable_line_is_flagged(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text("{broken\n", encoding="utf-8")
+        assert codes(check_artifact_file(target)) == ["RPR205"]
+
+    def test_bench_tag_constant_matches_registry(self):
+        assert KNOWN_SCHEMAS["repro-bench"] == BENCH_SCHEMA

@@ -95,6 +95,55 @@ class TestMalformedNoqa:
         assert findings == []
 
 
+class TestStalePragmaRPR002:
+    def test_pragma_that_never_fires_is_stale(self):
+        findings = lint(f"x = 1  {NOQA} RPR103 — obsolete\n")
+        assert [finding.rule_id for finding in findings] == ["RPR002"]
+        assert "RPR103" in findings[0].message
+        assert not findings[0].suppressed
+
+    def test_partially_stale_pragma_names_only_dead_ids(self):
+        findings = lint(
+            f"""
+            def check(x):
+                assert x >= 0  {NOQA} RPR102, RPR103 — both deliberate
+            """
+        )
+        stale = [finding for finding in findings if finding.rule_id == "RPR002"]
+        assert len(stale) == 1
+        assert "RPR102" in stale[0].message
+        assert "RPR103" not in stale[0].message
+
+    def test_used_pragma_is_not_stale(self):
+        findings = lint(
+            f"""
+            def check(x):
+                assert x >= 0  {NOQA} RPR103 — deliberate
+            """
+        )
+        assert [finding.rule_id for finding in findings] == ["RPR103"]
+
+    def test_standalone_pragma_used_by_next_line_is_not_stale(self):
+        findings = lint(
+            f"""
+            {NOQA} RPR105 — shared scratch buffer, reset per call
+            def collect(values=[]):
+                return values
+            """
+        )
+        assert [finding.rule_id for finding in findings] == ["RPR105"]
+
+    def test_stale_pragma_counts_toward_exit_code(self):
+        findings = lint(f"x = 1  {NOQA} RPR103 — obsolete\n")
+        assert unsuppressed(findings) != []
+
+    def test_restricted_select_skips_staleness(self):
+        findings = lint_source(
+            f"x = 1  {NOQA} RPR103 — obsolete\n", LIB_PATH, select=["RPR101"]
+        )
+        assert findings == []
+
+
 class TestReporters:
     def test_text_hides_suppressed_by_default(self):
         findings = lint(

@@ -1,0 +1,183 @@
+"""NetworkScenario error paths: constructor and checker reject alike.
+
+Every malformed input is pushed through both gates — direct
+construction (``NetworkScenario.from_dict`` raising
+``ConfigurationError``) and the static auditor
+(``check_scenario_dict`` returning an RPR203 finding) — so the two can
+never drift apart on what counts as a valid scenario.
+"""
+
+import copy
+
+import pytest
+
+from repro.check.invariants import check_scenario_dict
+from repro.errors import ConfigurationError
+from repro.experiments.fabric.scenario import NetworkScenario
+from repro.units import kbytes, mbps, mbytes
+
+
+def base_dict():
+    """A well-formed 2-hop tandem with churn, as raw dict data."""
+    return {
+        "nodes": [
+            {
+                "name": "a",
+                "scheme": "FIFO_THRESHOLD",
+                "buffer_size": mbytes(1.0),
+                "headroom": 0.05,
+                "groups": None,
+            },
+            {
+                "name": "b",
+                "scheme": "FIFO_THRESHOLD",
+                "buffer_size": mbytes(1.0),
+                "headroom": 0.05,
+                "groups": None,
+            },
+            {
+                "name": "c",
+                "scheme": None,
+                "buffer_size": None,
+                "headroom": 0.05,
+                "groups": None,
+            },
+        ],
+        "links": [
+            {"src": "a", "dst": "b", "rate": mbps(48.0)},
+            {"src": "b", "dst": "c", "rate": mbps(48.0)},
+        ],
+        "flows": [
+            {
+                "spec": {
+                    "flow_id": 0,
+                    "peak_rate": mbps(10.0),
+                    "avg_rate": mbps(1.0),
+                    "bucket": kbytes(50.0),
+                    "token_rate": mbps(2.0),
+                    "conformant": True,
+                    "mean_burst": kbytes(50.0),
+                },
+                "route": ["a", "b", "c"],
+            }
+        ],
+        "churn": {
+            "arrival_rate": 2.0,
+            "mean_holding": 1.0,
+            "templates": [
+                {
+                    "flow_id": 0,
+                    "peak_rate": mbps(10.0),
+                    "avg_rate": mbps(1.0),
+                    "bucket": kbytes(50.0),
+                    "token_rate": mbps(2.0),
+                    "conformant": True,
+                    "mean_burst": kbytes(50.0),
+                }
+            ],
+            "routes": [["a", "b", "c"]],
+            "admission": "auto",
+        },
+        "sim_time": 2.0,
+        "warmup": 0.2,
+        "seed": 1,
+        "packet_size": 1000.0,
+        "delay_histograms": False,
+        "max_events": None,
+        "recycle": True,
+    }
+
+
+def mutate(**overrides):
+    raw = copy.deepcopy(base_dict())
+    raw.update(overrides)
+    return raw
+
+
+def assert_both_reject(raw, fragment):
+    """Constructor raises; checker reports the same defect as RPR203."""
+    with pytest.raises(ConfigurationError, match=fragment):
+        NetworkScenario.from_dict(raw)
+    findings = check_scenario_dict(raw, path="bad.json")
+    assert [finding.rule_id for finding in findings] == ["RPR203"]
+    assert findings[0].severity == "error"
+
+
+class TestBaseDictIsValid:
+    def test_constructs_and_audits_clean(self):
+        scenario = NetworkScenario.from_dict(base_dict())
+        assert len(scenario.flows) == 1
+        assert check_scenario_dict(base_dict()) == []
+
+
+class TestStructuralRejections:
+    def test_route_over_missing_link(self):
+        raw = base_dict()
+        raw["flows"][0]["route"] = ["a", "c"]
+        assert_both_reject(raw, "missing link a->c")
+
+    def test_dangling_link_endpoint(self):
+        raw = base_dict()
+        raw["links"].append({"src": "b", "dst": "ghost", "rate": mbps(48.0)})
+        assert_both_reject(raw, "unknown endpoint")
+
+    def test_zero_capacity_link(self):
+        raw = base_dict()
+        raw["links"][0]["rate"] = 0.0
+        assert_both_reject(raw, "rate must be positive")
+
+    def test_churn_with_no_candidate_routes(self):
+        raw = base_dict()
+        raw["churn"]["routes"] = []
+        assert_both_reject(raw, "at least one candidate route")
+
+    def test_churn_route_over_missing_link(self):
+        raw = base_dict()
+        raw["churn"]["routes"] = [["b", "a"]]
+        assert_both_reject(raw, "missing link b->a")
+
+    def test_duplicate_node_names(self):
+        raw = base_dict()
+        raw["nodes"][1]["name"] = "a"
+        assert_both_reject(raw, "duplicate")
+
+    def test_duplicate_links(self):
+        raw = base_dict()
+        raw["links"].append({"src": "a", "dst": "b", "rate": mbps(48.0)})
+        assert_both_reject(raw, "duplicate link a->b")
+
+    def test_route_with_loop(self):
+        raw = base_dict()
+        raw["flows"][0]["route"] = ["a", "b", "a"]
+        assert_both_reject(raw, "loop")
+
+    def test_single_node_route(self):
+        raw = base_dict()
+        raw["flows"][0]["route"] = ["a"]
+        assert_both_reject(raw, "at least two nodes")
+
+    def test_forwarding_node_without_scheme(self):
+        raw = base_dict()
+        raw["nodes"][0]["scheme"] = None
+        assert_both_reject(raw, "no scheme/buffer")
+
+    def test_duplicate_flow_ids(self):
+        raw = base_dict()
+        raw["flows"].append(copy.deepcopy(raw["flows"][0]))
+        assert_both_reject(raw, "duplicate flow ids")
+
+    def test_negative_sim_time(self):
+        assert_both_reject(mutate(sim_time=-1.0), "sim_time must be positive")
+
+
+class TestMalformedData:
+    def test_missing_required_key_is_rpr203(self):
+        raw = base_dict()
+        del raw["nodes"]
+        findings = check_scenario_dict(raw, path="bad.json")
+        assert [finding.rule_id for finding in findings] == ["RPR203"]
+        assert "malformed scenario" in findings[0].message
+
+    def test_non_dict_payload_is_rpr203(self):
+        findings = check_scenario_dict([1, 2, 3], path="bad.json")
+        assert [finding.rule_id for finding in findings] == ["RPR203"]
