@@ -22,6 +22,8 @@ Usage::
 
     python -m repro net demo            # 3-hop tandem with flow churn
     python -m repro net demo --hops 5 --seed 3 --no-churn
+    python -m repro net reclaim         # live reprovisioning vs static
+    python -m repro net reclaim --trace-out results/reclaim.jsonl
 
     python -m repro check examples/specs benchmarks/baselines
     python -m repro check --list-invariants
@@ -56,7 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
             "with --spec for declarative scenarios, 'campaign' with an "
             "action (run/status/clear-cache), 'obs' with an action "
             "(trace/report), 'bench' with an action "
-            "(run/compare/update-baseline), or 'net' with an action (demo)"
+            "(run/compare/update-baseline), or 'net' with an action "
+            "(demo/reclaim)"
         ),
     )
     parser.add_argument(
@@ -64,7 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="campaign action (run, status, clear-cache), obs action "
-        "(trace, report), or net action (demo)",
+        "(trace, report), or net action (demo, reclaim)",
     )
     parser.add_argument(
         "--spec",
@@ -116,7 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=None,
         help="where 'obs trace --spec' writes the JSONL event stream "
-        "(default: results/trace.jsonl)",
+        "(default: results/trace.jsonl); for 'net reclaim', write one "
+        "traced reclamation run here for offline RPR206 auditing",
     )
     parser.add_argument(
         "--flow",
@@ -137,13 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--hops",
         type=int,
         default=3,
-        help="tandem length for 'net demo' (default 3)",
+        help="tandem length for 'net demo' / 'net reclaim' (default 3)",
     )
     parser.add_argument(
         "--seed",
         type=int,
         default=0,
-        help="root seed for 'net demo' (default 0)",
+        help="root seed for 'net demo'; first of three seeds for "
+        "'net reclaim' (default 0)",
     )
     parser.add_argument(
         "--no-churn",
@@ -365,8 +370,13 @@ def run_net(args: argparse.Namespace) -> int:
     from repro.experiments.report import format_table
     from repro.units import to_millis
 
+    if args.action == "reclaim":
+        return run_net_reclaim(args)
     if args.action != "demo":
-        print(f"unknown net action {args.action!r}; use demo", file=sys.stderr)
+        print(
+            f"unknown net action {args.action!r}; use demo or reclaim",
+            file=sys.stderr,
+        )
         return 2
     if args.hops < 1:
         print("'net demo' needs --hops >= 1", file=sys.stderr)
@@ -440,6 +450,42 @@ def run_net(args: argparse.Namespace) -> int:
             f"  {report.departures} departed, "
             f"{report.active_at_end} still active at end"
         )
+    return 0
+
+
+def run_net_reclaim(args: argparse.Namespace) -> int:
+    from repro.experiments.fabric import run_fabric
+    from repro.experiments.fabric.demo import demo_tandem
+    from repro.experiments.reclaim import run_reclaim_study
+    from repro.obs import JsonlSink
+
+    if args.hops < 1:
+        print("'net reclaim' needs --hops >= 1", file=sys.stderr)
+        return 2
+    seeds = (args.seed, args.seed + 1, args.seed + 2)
+    study = run_reclaim_study(hops=args.hops, seeds=seeds, runner=_build_runner(args))
+    print(
+        f"reclamation study: {args.hops}-hop tandem, "
+        f"{study.sim_time:g} s per run, seeds {', '.join(map(str, seeds))}"
+    )
+    print()
+    print(study.render())
+    if args.trace_out is not None:
+        # One traced reclamation run so the pool's accounting can be
+        # audited offline: `repro check <trace-out>` applies RPR206.
+        scenario = demo_tandem(
+            hops=args.hops,
+            seed=seeds[0],
+            sim_time=study.sim_time,
+            churn=True,
+            reclamation=True,
+            delay_histograms=False,
+        )
+        args.trace_out.parent.mkdir(parents=True, exist_ok=True)
+        with JsonlSink(args.trace_out) as trace:
+            run_fabric(scenario, sink=trace)
+        print()
+        print(f"# reclamation trace written to {args.trace_out}", file=sys.stderr)
     return 0
 
 

@@ -71,6 +71,32 @@ class AdmissionControl:
         """Would the flow be admitted? Does not change state."""
         raise NotImplementedError
 
+    def check_bandwidth(self, rho: float) -> Decision:
+        """The bandwidth half of the test alone (eq. 5/7).
+
+        Used when the buffer half is delegated elsewhere — live
+        reclamation tests buffer feasibility against the node's
+        :class:`~repro.core.pool.BufferPool` instead of the static
+        region, but the rate sum still caps admission here.
+        """
+        self._validate_flow(0.0, rho)
+        if self.rho_total + rho > self.link_rate:
+            return Decision(False, Rejection.BANDWIDTH_LIMITED)
+        return Decision(True)
+
+    def book(self, sigma: float, rho: float) -> None:
+        """Add a flow to the books without re-running the region test.
+
+        For callers that already decided admission through another gate
+        (the live buffer pool): booking must then be unconditional, or a
+        float-edge disagreement between the two tests would desynchronise
+        the books from the pool.
+        """
+        self._validate_flow(sigma, rho)
+        self.rho_total += rho
+        self.sigma_total += sigma
+        self.admitted_count += 1
+
     def admit(self, sigma: float, rho: float) -> Decision:
         """Run the test and, on success, add the flow to the books."""
         decision = self.check(sigma, rho)
@@ -106,6 +132,17 @@ class WFQAdmission(AdmissionControl):
 
 class FIFOAdmission(AdmissionControl):
     """FIFO-with-thresholds schedulability region (eqs. 7-9)."""
+
+    def check_bandwidth(self, rho: float) -> Decision:
+        self._validate_flow(0.0, rho)
+        rho_after = self.rho_total + rho
+        if rho_after > self.link_rate:
+            return Decision(False, Rejection.BANDWIDTH_LIMITED)
+        if rho_after == self.link_rate:
+            # eq. (9) requirement is unbounded at full reservation, so
+            # the flow is buffer-infeasible whatever the pool says.
+            return Decision(False, Rejection.BUFFER_LIMITED)
+        return Decision(True)
 
     def check(self, sigma: float, rho: float) -> Decision:
         self._validate_flow(sigma, rho)

@@ -15,7 +15,8 @@ Two kinds of cases:
   silently measuring something else.
 * **Micro** cases mirror the pytest-benchmark engine workloads (event
   chain, preloaded heap, cancellation drain) plus a batched-RNG source
-  workload and an admission-dominated churn workload.  They are
+  workload and an admission-dominated churn workload, with and without
+  live buffer reclamation.  They are
   digested over their canonical parameters tagged with
   :data:`~repro.bench.baseline.BENCH_SCHEMA`.
 
@@ -279,6 +280,9 @@ def _run_churn(params: dict) -> int:
             templates=(template,),
             routes=(("a", "b", "c"),),
             admission="auto",
+            # Absent from the classic case's params so its digest (and
+            # baseline history) is unchanged by the reclamation knob.
+            reclamation=params.get("reclamation", False),
         ),
         sim_time=params["sim_time"],
         seed=params["seed"],
@@ -323,6 +327,18 @@ def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
                 "mean_holding": 0.05,
             },
         ),
+        BenchCase(
+            "churn-reclaim",
+            MICRO,
+            runner=_run_churn,
+            params={
+                "seed": 17,
+                "sim_time": source_time / 2.0,
+                "arrival_rate": 120.0,
+                "mean_holding": 0.05,
+                "reclamation": True,
+            },
+        ),
     ]
 
 
@@ -330,7 +346,7 @@ def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
 
 
 def default_suite(quick: bool = False) -> list[BenchCase]:
-    """The curated suite: five macro + five micro cases.
+    """The curated suite: five macro + six micro cases.
 
     ``quick`` shrinks sim time and op counts for CI-class machines; the
     case *digests* change with it, so quick and full baselines never

@@ -12,7 +12,8 @@ CI at the lint gate rather than deep inside a campaign:
   / :data:`repro.experiments.campaign.network.NETWORK_SCHEMA`;
 * equivalence goldens — the ``repro-equivalence-v1`` tag the golden test
   asserts;
-* JSONL trace files — the :data:`repro.obs.events.TRACE_SCHEMA` header;
+* JSONL trace files — the :data:`repro.obs.events.TRACE_SCHEMA` header,
+  plus capacity conservation of any pool snapshots they carry (RPR206);
 * JSONL telemetry files — :data:`repro.obs.telemetry.TELEMETRY_SCHEMA`
   per line.
 
@@ -151,8 +152,13 @@ def _check_jsonl_artifact(path: pathlib.Path, text: str) -> list[Finding]:
             first_tag = tag if isinstance(tag, str) else ""
             if findings:
                 break
+            if schema_family(first_tag) == "repro-trace":
+                # Trace bodies carry one event per line; pool snapshots
+                # in them are auditable for conservation (RPR206).
+                findings.extend(_check_trace_pool_lines(path, text, number))
+                break
             if schema_family(first_tag) != "repro-telemetry":
-                break  # traces only tag the header line
+                break  # other artifacts only tag the header line
         elif tag is not None and tag != first_tag:
             findings.append(
                 Finding(
@@ -164,6 +170,91 @@ def _check_jsonl_artifact(path: pathlib.Path, text: str) -> list[Finding]:
                 )
             )
             break
+    return findings
+
+
+#: Conservation tolerance in bytes; matches BufferPool.check().
+_POOL_BALANCE_TOL = 1e-3
+#: Component non-negativity slack; matches the pool's epsilon.
+_POOL_COMPONENT_TOL = 1e-6
+
+
+def _check_trace_pool_lines(
+    path: pathlib.Path, text: str, header_line: int
+) -> list[Finding]:
+    """RPR206: every pool snapshot in a trace must conserve capacity.
+
+    A :class:`~repro.obs.events.PoolEvent` is the pool's accounting at
+    one transition; ``reserved + headroom + holes`` must equal the
+    capacity ``B`` and no component may be negative.  Lines that are not
+    pool events (or do not parse) are skipped — the schema audit above
+    already vouched for the header, and trace bodies are free-form
+    event streams.
+    """
+    findings: list[Finding] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if number <= header_line or not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(entry, dict) or entry.get("kind") != "pool":
+            continue
+        try:
+            reserved = float(entry["reserved"])
+            headroom = float(entry["headroom"])
+            holes = float(entry["holes"])
+            capacity = float(entry["capacity"])
+            flows = int(entry["flows"])
+        except (KeyError, TypeError, ValueError) as exc:
+            findings.append(
+                Finding(
+                    "RPR206",
+                    f"malformed pool event: {exc!r}",
+                    str(path),
+                    number,
+                )
+            )
+            continue
+        for label, value in (
+            ("reserved", reserved),
+            ("headroom", headroom),
+            ("holes", holes),
+        ):
+            if value < -_POOL_COMPONENT_TOL:
+                findings.append(
+                    Finding(
+                        "RPR206",
+                        f"pool {label} is negative ({value!r}) at "
+                        f"t={entry.get('time')}",
+                        str(path),
+                        number,
+                    )
+                )
+        if flows < 0:
+            findings.append(
+                Finding(
+                    "RPR206",
+                    f"pool flow count is negative ({flows}) at "
+                    f"t={entry.get('time')}",
+                    str(path),
+                    number,
+                )
+            )
+        imbalance = reserved + headroom + holes - capacity
+        if abs(imbalance) > _POOL_BALANCE_TOL:
+            findings.append(
+                Finding(
+                    "RPR206",
+                    f"pool does not conserve capacity at "
+                    f"t={entry.get('time')}: reserved {reserved!r} + "
+                    f"headroom {headroom!r} + holes {holes!r} deviates "
+                    f"from B={capacity!r} by {imbalance!r} bytes",
+                    str(path),
+                    number,
+                )
+            )
     return findings
 
 

@@ -71,6 +71,11 @@ INVARIANT_CATALOG: dict[str, tuple[str, str]] = {
         "cache/baseline/golden/trace artifacts must carry the current "
         "*_SCHEMA version tags",
     ),
+    "RPR206": (
+        "pool-consistency",
+        "traced buffer pools must conserve capacity at every transition: "
+        "reserved + headroom + holes == B, all components non-negative",
+    ),
 }
 
 

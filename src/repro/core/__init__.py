@@ -12,7 +12,9 @@ packet may enter a shared buffer:
 * :class:`DynamicThresholdManager`, :class:`REDManager`,
   :class:`FREDManager` — related-work baselines;
 * :class:`HybridBufferManager` — per-class composition for the Section-4
-  hybrid architecture.
+  hybrid architecture;
+* :class:`BufferPool` — live per-node reservation/headroom/holes
+  accounting behind runtime threshold reclamation.
 """
 
 from repro.core.adaptive import AdaptiveSharingManager
@@ -21,6 +23,7 @@ from repro.core.fixed_threshold import FixedThresholdManager
 from repro.core.fred import FREDManager
 from repro.core.hybrid import HybridBufferManager
 from repro.core.occupancy import BufferManager
+from repro.core.pool import BufferPool
 from repro.core.red import REDManager
 from repro.core.shared_headroom import SharedHeadroomManager
 from repro.core.tail_drop import TailDropManager
@@ -34,6 +37,7 @@ from repro.core.thresholds import (
 __all__ = [
     "AdaptiveSharingManager",
     "BufferManager",
+    "BufferPool",
     "TailDropManager",
     "FixedThresholdManager",
     "SharedHeadroomManager",

@@ -45,6 +45,20 @@ class DynamicThresholdManager(BufferManager):
         """The shared dynamic threshold ``alpha * (B - Q(t))``."""
         return self.alpha * (self.capacity - self._total)
 
+    def reprovision(self, flow_id: int, threshold: float) -> None:
+        """Validating no-op: the shared threshold adapts by itself.
+
+        Dynamic Threshold has no per-flow reservations to resize — the
+        single threshold tracks free space, so a departing flow's space
+        is redistributed automatically.  Accepting (and validating) the
+        call keeps the manager usable behind the uniform reprovisioning
+        contract.
+        """
+        if threshold < 0:
+            raise ConfigurationError(
+                f"threshold for flow {flow_id} must be non-negative, got {threshold}"
+            )
+
     def _reference_threshold(self, flow_id: int) -> float | None:
         # The shared threshold moves with total occupancy; crossings are
         # traced against its value at the moment of the transition.

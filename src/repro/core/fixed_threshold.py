@@ -36,6 +36,8 @@ class FixedThresholdManager(BufferManager):
 
     DROP_REASON = "threshold"
 
+    has_flow_thresholds = True
+
     def __init__(
         self,
         capacity: float,
@@ -58,6 +60,27 @@ class FixedThresholdManager(BufferManager):
     def threshold(self, flow_id: int) -> float:
         """Occupancy threshold applied to ``flow_id``."""
         return self.thresholds.get(flow_id, self.default_threshold)
+
+    def reprovision(self, flow_id: int, threshold: float) -> None:
+        """Install or change ``flow_id``'s threshold while live.
+
+        Drain-safe: a shrinking threshold only binds future admissions;
+        occupancy already above it departs normally.
+        """
+        if threshold < 0:
+            raise ConfigurationError(
+                f"threshold for flow {flow_id} must be non-negative, got {threshold}"
+            )
+        previous = self.threshold(flow_id)
+        self.thresholds[flow_id] = threshold
+        self._trace_reprovision(flow_id, threshold, previous)
+
+    def retire(self, flow_id: int) -> None:
+        """Withdraw the flow's threshold; queued packets still drain."""
+        previous = self.thresholds.pop(flow_id, None)
+        if previous is not None:
+            self._trace_reprovision(flow_id, self.default_threshold, previous)
+        super().retire(flow_id)
 
     def _reference_threshold(self, flow_id: int) -> float | None:
         return self.threshold(flow_id)

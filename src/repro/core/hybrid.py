@@ -33,6 +33,10 @@ class HybridBufferManager:
 
     __slots__ = ("class_of", "managers", "capacity")
 
+    #: Per-flow thresholds live in the class sub-managers; reprovision
+    #: and retire delegate, so the composite honours the same contract.
+    has_flow_thresholds = True
+
     def __init__(self, class_of: Mapping[int, int], managers: Sequence[BufferManager]):
         if not managers:
             raise ConfigurationError("hybrid manager needs at least one sub-manager")
@@ -75,6 +79,30 @@ class HybridBufferManager:
 
     def occupancy(self, flow_id: int) -> float:
         return self._manager_for(flow_id).occupancy(flow_id)
+
+    def threshold(self, flow_id: int) -> float:
+        """The threshold the flow's class manager applies to it."""
+        return self._manager_for(flow_id).threshold(flow_id)
+
+    def reprovision(self, flow_id: int, threshold: float) -> None:
+        """Delegate the live threshold change to the flow's class manager.
+
+        The class partitions are physically disjoint, so reprovisioning
+        inside one class can never disturb another — the same argument
+        that makes the hybrid guarantees per-queue applications of the
+        single-queue results.
+        """
+        self._manager_for(flow_id).reprovision(flow_id, threshold)
+
+    def retire(self, flow_id: int) -> None:
+        """Withdraw the flow inside its class; the class mapping stays.
+
+        Keeping the ``class_of`` entry is what makes retirement
+        drain-safe here: packets of the retired flow still queued in the
+        class partition must keep resolving to the same sub-manager
+        until they depart.
+        """
+        self._manager_for(flow_id).retire(flow_id)
 
     @property
     def total_occupancy(self) -> float:

@@ -16,14 +16,31 @@ The contract with the output port is:
 
 Both are O(1) for every policy here, which is the paper's scalability
 argument: admission needs constant state and constant work per packet.
+
+Runtime reprovisioning extends the contract for dynamic-provisioning
+scenarios (churn with reclamation, see :mod:`repro.core.pool`):
+
+* ``reprovision(flow_id, threshold)`` — change a flow's admission
+  threshold while the run is live.  Only policies with per-flow
+  thresholds support it (``has_flow_thresholds`` is True); the base
+  class refuses.
+* ``retire(flow_id)`` — the flow is gone for good: withdraw its
+  threshold (subclasses) and schedule its occupancy entry for cleanup
+  once its queued packets drain.
+
+Both are **drain-safe**: occupancy above a shrunken (or withdrawn)
+threshold is never evicted — admission predicates only bind *future*
+arrivals, and departures never consult the threshold, so in-flight
+packets depart normally.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import ClassVar
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.obs.events import ThresholdCrossEvent
+from repro.obs.events import ReprovisionEvent, ThresholdCrossEvent
 
 __all__ = ["BufferManager"]
 
@@ -35,11 +52,24 @@ class BufferManager(ABC):
         capacity: total buffer size ``B`` in bytes.  Must be positive.
     """
 
-    __slots__ = ("capacity", "_occupancy", "_total", "_sink", "_clock", "_node")
+    __slots__ = (
+        "capacity",
+        "_occupancy",
+        "_total",
+        "_sink",
+        "_clock",
+        "_node",
+        "_retired",
+    )
 
     #: How :meth:`drop_reason` labels policy (non-capacity) rejections;
     #: subclasses override with their mechanism name.
     DROP_REASON = "policy"
+
+    #: Whether the policy keeps a per-flow threshold that
+    #: :meth:`reprovision` can change at run time.  Replaces the old
+    #: duck-typed ``getattr(manager, "thresholds", None)`` probing.
+    has_flow_thresholds: ClassVar[bool] = False
 
     def __init__(self, capacity: float):
         if capacity <= 0:
@@ -50,6 +80,7 @@ class BufferManager(ABC):
         self._sink = None
         self._clock = None
         self._node = ""
+        self._retired: set[int] | None = None
 
     @property
     def total_occupancy(self) -> float:
@@ -151,6 +182,48 @@ class BufferManager(ABC):
                 )
             )
 
+    # -- runtime reprovisioning -------------------------------------------
+
+    def reprovision(self, flow_id: int, threshold: float) -> None:
+        """Change ``flow_id``'s admission threshold while live.
+
+        The base class has no per-flow thresholds to change; policies
+        that do (``has_flow_thresholds``) override this.  The change is
+        drain-safe by construction: thresholds only gate admission, so
+        occupancy above a shrunken value simply drains.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} has no per-flow thresholds to reprovision"
+        )
+
+    def retire(self, flow_id: int) -> None:
+        """The flow departed for good: release its accounting state.
+
+        The occupancy entry is dropped immediately when the flow has no
+        queued bytes, otherwise once its last packet departs — queued
+        packets are never stranded or retro-dropped.  Subclasses with
+        per-flow thresholds also withdraw the threshold.
+        """
+        if self._occupancy.get(flow_id, 0.0) <= 0.0:
+            self._occupancy.pop(flow_id, None)
+        else:
+            if self._retired is None:
+                self._retired = set()
+            self._retired.add(flow_id)
+
+    def _trace_reprovision(self, flow_id: int, threshold: float, previous: float) -> None:
+        """Emit a ReprovisionEvent when a sink is attached."""
+        if self._sink is not None and threshold != previous:
+            self._sink.emit(
+                ReprovisionEvent(
+                    time=self._clock(),
+                    flow_id=flow_id,
+                    threshold=threshold,
+                    previous=previous,
+                    node=self._node,
+                )
+            )
+
     # -- admission contract ----------------------------------------------
 
     def try_admit(self, flow_id: int, size: float) -> bool:
@@ -179,6 +252,11 @@ class BufferManager(ABC):
         if self._sink is not None:
             after = max(occupancy, 0.0)
             self._trace_occupancy_step(flow_id, after + size, after)
+        # A retired flow's entry is reclaimed the moment it drains; the
+        # empty-set guard keeps the cost off the common (no-churn) path.
+        if self._retired and flow_id in self._retired and occupancy <= 1e-9:
+            self._occupancy.pop(flow_id, None)
+            self._retired.discard(flow_id)
 
     def _charge(self, flow_id: int, size: float) -> None:
         new_total = self._total + size

@@ -59,6 +59,8 @@ class SharedHeadroomManager(BufferManager):
 
     DROP_REASON = "shared-buffer"
 
+    has_flow_thresholds = True
+
     def __init__(
         self,
         capacity: float,
@@ -83,6 +85,29 @@ class SharedHeadroomManager(BufferManager):
     def threshold(self, flow_id: int) -> float:
         """Reserved threshold applied to ``flow_id``."""
         return self.thresholds.get(flow_id, self.default_threshold)
+
+    def reprovision(self, flow_id: int, threshold: float) -> None:
+        """Install or change ``flow_id``'s reserved threshold while live.
+
+        The holes/headroom split tracks *free space*, not reservations,
+        so no counter moves: a changed threshold only re-routes future
+        admissions between the privileged (within-reservation) and the
+        holes-only path.  Drain-safe as in the fixed-partition case.
+        """
+        if threshold < 0:
+            raise ConfigurationError(
+                f"threshold for flow {flow_id} must be non-negative, got {threshold}"
+            )
+        previous = self.threshold(flow_id)
+        self.thresholds[flow_id] = threshold
+        self._trace_reprovision(flow_id, threshold, previous)
+
+    def retire(self, flow_id: int) -> None:
+        """Withdraw the flow's reservation; queued packets still drain."""
+        previous = self.thresholds.pop(flow_id, None)
+        if previous is not None:
+            self._trace_reprovision(flow_id, self.default_threshold, previous)
+        super().retire(flow_id)
 
     def _reference_threshold(self, flow_id: int) -> float | None:
         return self.threshold(flow_id)

@@ -42,7 +42,11 @@ __all__ = ["NETWORK_SCHEMA", "NetworkJob", "LinkRecord", "NetworkRecord"]
 #: Version tag for network jobs and records.  Distinct from the classic
 #: CAMPAIGN_SCHEMA so the two job families can share one cache directory
 #: without ever colliding; bump on any layout change.
-NETWORK_SCHEMA = "repro-campaign-net-v1"
+#:
+#: v2: ``ChurnSpec`` gained the ``reclamation`` knob (serialized into
+#: every churn scenario) and ``ChurnReport`` the ``blocked_unknown``
+#: counter, changing both job and record layouts.
+NETWORK_SCHEMA = "repro-campaign-net-v2"
 
 
 @dataclass(frozen=True)

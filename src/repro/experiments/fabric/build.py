@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.admission import AdmissionControl, FIFOAdmission, WFQAdmission
+from repro.core.pool import BufferPool
+from repro.core.thresholds import flow_threshold
 from repro.errors import ConfigurationError
 from repro.experiments.fabric.churn import ChurnReport, FlowChurnProcess, HopState
 from repro.experiments.fabric.scenario import DYNAMIC_FLOW_BASE, NetworkScenario
@@ -353,7 +355,7 @@ def _run_network(
     churn_process = None
     if scenario.churn is not None:
         churn_process = _start_churn(
-            sim, net, scenario, links, builds, hop_sigmas, seed_seq
+            sim, net, scenario, links, builds, hop_sigmas, seed_seq, sink=sink
         )
 
     sim.run(until=scenario.sim_time, max_events=scenario.max_events)
@@ -376,6 +378,8 @@ def _start_churn(
     builds: dict[tuple[str, str], SchemeBuild],
     hop_sigmas: dict[int, dict[tuple[str, str], float]],
     seed_seq: np.random.SeedSequence,
+    *,
+    sink=None,
 ) -> FlowChurnProcess:
     """Build per-hop admission state, pre-book statics, start the process."""
     spec = scenario.churn
@@ -393,6 +397,11 @@ def _start_churn(
     for link in scenario.links:
         key = (link.src, link.dst)
         node = scenario.node(link.src)
+        pool = None
+        if spec.reclamation:
+            pool = BufferPool(node.buffer_size, node=link.label)
+            if sink is not None:
+                pool.attach_trace(sink, lambda: sim.now)
         hops[key] = HopState(
             src=link.src,
             label=link.label,
@@ -402,9 +411,13 @@ def _start_churn(
             manager=builds[key].manager,
             buffer_size=node.buffer_size,
             rate=link.rate,
+            pool=pool,
         )
 
     # Pre-book the static population: churn must see the residual region.
+    # With reclamation the statics' base (pre-rescale) thresholds are also
+    # reserved in each pool — in scenario.flows order, so the pool's
+    # reservation sums match build_scheme's threshold computation exactly.
     for routed in scenario.flows:
         for key, sigma in hop_sigmas[routed.spec.flow_id].items():
             decision = hops[key].admission.admit(sigma, routed.spec.token_rate)
@@ -414,6 +427,17 @@ def _start_churn(
                     f"admission region at link {hops[key].label} "
                     f"({decision.reason.value}); churn blocking would be "
                     "meaningless over an over-booked network"
+                )
+            state = hops[key]
+            if state.pool is not None:
+                state.pool.reserve(
+                    routed.spec.flow_id,
+                    flow_threshold(
+                        sigma,
+                        routed.spec.token_rate,
+                        state.buffer_size,
+                        state.rate,
+                    ),
                 )
 
     return FlowChurnProcess(

@@ -9,17 +9,30 @@ envelope inflated along the route (see
 source once every hop has accepted.  Rejections are attributed to the
 first refusing hop and split by the paper's two causes:
 *bandwidth-limited* (the rate sum) vs *buffer-limited* (the buffer
-requirement).
+requirement); rejections without a classified cause are counted as
+*unknown* rather than folded into either bucket.
 
 Accepted flows hold for an exponential time, then depart: every hop's
 admission books are released, the per-hop thresholds registered for the
-flow are withdrawn, and the source is silenced.  Routes stay installed
-so in-flight packets drain normally.
+flow are withdrawn through the manager's first-class
+:meth:`~repro.core.occupancy.BufferManager.retire` API, and the source
+is silenced.  Routes stay installed so in-flight packets drain normally.
+
+With **reclamation** enabled (``ChurnSpec.reclamation``) each hop also
+keeps a live :class:`~repro.core.pool.BufferPool`: buffer admission
+tests against the pool (``sum(sigma_i + rho_i B / R) <= B``, which is
+algebraically the paper's eq.-9 region), a departure reclaims the
+flow's base reservation into the pool's headroom, and every transition
+triggers the footnote-5 proportional rescale of the surviving
+population's thresholds — pushed into the buffer managers through
+:meth:`~repro.core.occupancy.BufferManager.reprovision`, drain-safely.
 
 All randomness (interarrivals, template and route choice, holding
 times, and the per-flow source streams) derives from one
 ``SeedSequence`` child, spawned *after* the static flows' children —
 adding churn to a scenario never perturbs the static sample paths.
+Reclamation draws nothing extra, so switching it on never perturbs the
+arrival pattern either.
 """
 
 from __future__ import annotations
@@ -28,7 +41,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.admission import AdmissionControl, Rejection
+from repro.analysis.admission import AdmissionControl, Decision, Rejection
+from repro.core.pool import BufferPool
 from repro.core.thresholds import flow_threshold
 from repro.errors import ConfigurationError
 from repro.net.topology import Network, per_hop_sigma
@@ -49,10 +63,11 @@ class HopState:
         admission: the hop's schedulability region, pre-booked with the
             static flows crossing the link.
         manager: the link's buffer manager; dynamic per-flow thresholds
-            are registered into (and withdrawn from) its ``thresholds``
-            mapping when it has one.
+            are installed (and withdrawn) through its ``reprovision`` /
+            ``retire`` API when it has per-flow thresholds.
         buffer_size: the hop's buffer ``B`` in bytes.
         rate: the hop's link rate ``R`` in bytes/second.
+        pool: the hop's live buffer pool; only set under reclamation.
     """
 
     src: str
@@ -61,6 +76,15 @@ class HopState:
     manager: object
     buffer_size: float
     rate: float
+    pool: BufferPool | None = None
+    manages_thresholds: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        # First-class contract probe (class attribute, not instance
+        # duck-typing): TailDrop and friends simply report False.
+        self.manages_thresholds = bool(
+            getattr(type(self.manager), "has_flow_thresholds", False)
+        )
 
     @property
     def delay_bound(self) -> float:
@@ -73,21 +97,23 @@ class ChurnReport:
     """Outcome accounting for one churn run.
 
     ``per_node`` maps a node name to rejection counts keyed by the
-    paper's two causes (``"bandwidth-limited"`` / ``"buffer-limited"``);
-    a candidate is charged to the *first* hop that refused it.
+    paper's two causes (``"bandwidth-limited"`` / ``"buffer-limited"``,
+    plus ``"unknown"`` for unclassified refusals); a candidate is
+    charged to the *first* hop that refused it.
     """
 
     arrivals: int = 0
     accepted: int = 0
     blocked_bandwidth: int = 0
     blocked_buffer: int = 0
+    blocked_unknown: int = 0
     departures: int = 0
     active_at_end: int = 0
     per_node: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def blocked(self) -> int:
-        return self.blocked_bandwidth + self.blocked_buffer
+        return self.blocked_bandwidth + self.blocked_buffer + self.blocked_unknown
 
     @property
     def blocking_probability(self) -> float:
@@ -103,6 +129,7 @@ class ChurnReport:
             "accepted": int(self.accepted),
             "blocked_bandwidth": int(self.blocked_bandwidth),
             "blocked_buffer": int(self.blocked_buffer),
+            "blocked_unknown": int(self.blocked_unknown),
             "departures": int(self.departures),
             "active_at_end": int(self.active_at_end),
             "per_node": {
@@ -118,6 +145,8 @@ class ChurnReport:
             accepted=int(raw["accepted"]),
             blocked_bandwidth=int(raw["blocked_bandwidth"]),
             blocked_buffer=int(raw["blocked_buffer"]),
+            # Absent in records written before the unknown split.
+            blocked_unknown=int(raw.get("blocked_unknown", 0)),
             departures=int(raw["departures"]),
             active_at_end=int(raw["active_at_end"]),
             per_node={
@@ -166,6 +195,16 @@ class FlowChurnProcess:
         self.scenario = scenario
         self.spec = spec
         self.hops = hops
+        self.reclamation = bool(spec.reclamation)
+        if self.reclamation:
+            missing = [
+                state.label for state in hops.values() if state.pool is None
+            ]
+            if missing:
+                raise ConfigurationError(
+                    "reclamation needs a BufferPool at every hop; missing at "
+                    + ", ".join(sorted(missing))
+                )
         self.report = ChurnReport()
         self._seed_seq = seed_seq
         self._rng = np.random.default_rng(seed_seq)
@@ -184,6 +223,56 @@ class FlowChurnProcess:
         route = self.spec.routes[int(self._rng.integers(len(self.spec.routes)))]
         return template, route
 
+    def _hop_decision(self, state: HopState, sigma: float, rho: float) -> Decision:
+        """One hop's admission test for a candidate ``(sigma, rho)``.
+
+        Static mode asks the pre-booked region; reclamation splits the
+        test — bandwidth from the region's rate books, buffer from the
+        live pool (the paper's eq.-9 requirement restated over base
+        reservations).
+        """
+        if not self.reclamation:
+            return state.admission.check(sigma, rho)
+        decision = state.admission.check_bandwidth(rho)
+        if not decision:
+            return decision
+        base = flow_threshold(sigma, rho, state.buffer_size, state.rate)
+        if not state.pool.can_reserve(base):
+            return Decision(False, Rejection.BUFFER_LIMITED)
+        return Decision(True)
+
+    def _install(self, state: HopState, flow_id: int, sigma: float, rho: float) -> None:
+        """Book one accepted flow at one hop.
+
+        Static mode reproduces the historical behaviour exactly: admit
+        into the region and register the flow's Prop.-2 threshold.
+        Reclamation books unconditionally (the pool already decided),
+        reserves the base threshold in the pool, and rescales the
+        survivors online.
+        """
+        base = flow_threshold(sigma, rho, state.buffer_size, state.rate)
+        if not self.reclamation:
+            state.admission.admit(sigma, rho)
+            if state.manages_thresholds:
+                state.manager.reprovision(flow_id, base)
+            return
+        state.admission.book(sigma, rho)
+        state.pool.reserve(flow_id, base)
+        self._sync_thresholds(state)
+
+    def _sync_thresholds(self, state: HopState) -> None:
+        """Push the pool's footnote-5 rescale into the hop's manager.
+
+        Only values that actually changed are reprovisioned, so the
+        trace records transitions rather than a full dump per event.
+        """
+        if not state.manages_thresholds:
+            return
+        manager = state.manager
+        for flow_id, value in state.pool.effective_thresholds().items():
+            if manager.threshold(flow_id) != value:
+                manager.reprovision(flow_id, value)
+
     def _arrival(self) -> None:
         if self.sim.now >= self.scenario.sim_time:
             return
@@ -199,7 +288,7 @@ class FlowChurnProcess:
             template.bucket, template.token_rate, [s.delay_bound for s in states]
         )
         for state, sigma in zip(states, sigmas):
-            decision = state.admission.check(sigma, template.token_rate)
+            decision = self._hop_decision(state, sigma, template.token_rate)
             if not decision:
                 self._record_rejection(state.src, decision.reason)
                 return
@@ -208,12 +297,7 @@ class FlowChurnProcess:
         self._next_id += 1
         self.report.accepted += 1
         for state, sigma in zip(states, sigmas):
-            state.admission.admit(sigma, template.token_rate)
-            thresholds = getattr(state.manager, "thresholds", None)
-            if thresholds is not None:
-                thresholds[flow_id] = flow_threshold(
-                    sigma, template.token_rate, state.buffer_size, state.rate
-                )
+            self._install(state, flow_id, sigma, template.token_rate)
         self.network.set_route(flow_id, list(route))
 
         destination = self.network.entry(flow_id)
@@ -241,8 +325,10 @@ class FlowChurnProcess:
         key = "unknown" if reason is None else reason.value
         if reason is Rejection.BANDWIDTH_LIMITED:
             self.report.blocked_bandwidth += 1
-        else:
+        elif reason is Rejection.BUFFER_LIMITED:
             self.report.blocked_buffer += 1
+        else:
+            self.report.blocked_unknown += 1
         node_counts = self.report.per_node.setdefault(node, {})
         node_counts[key] = node_counts.get(key, 0) + 1
 
@@ -257,9 +343,11 @@ class FlowChurnProcess:
         for key, sigma in zip(hop_keys, sigmas):
             state = self.hops[key]
             state.admission.release(sigma, rho)
-            thresholds = getattr(state.manager, "thresholds", None)
-            if thresholds is not None:
-                thresholds.pop(flow_id, None)
+            if state.manages_thresholds:
+                state.manager.retire(flow_id)
+            if self.reclamation:
+                state.pool.retire(flow_id)
+                self._sync_thresholds(state)
         self.report.departures += 1
 
     # -- finalisation -----------------------------------------------------

@@ -38,6 +38,7 @@ def demo_tandem(
     seed: int = 0,
     sim_time: float = 8.0,
     churn: bool = True,
+    reclamation: bool = False,
     delay_histograms: bool = True,
 ) -> NetworkScenario:
     """The reference ``hops``-hop tandem scenario.
@@ -47,6 +48,9 @@ def demo_tandem(
         seed: root seed for every stream in the run.
         sim_time: total simulated seconds.
         churn: include the dynamic-flow population.
+        reclamation: run churn over live buffer pools (departures
+            reclaim reservations, thresholds rescale online); requires
+            ``churn=True`` to have any effect.
         delay_histograms: record per-hop and end-to-end delay
             histograms (the CLI prints end-to-end percentiles).
     """
@@ -110,6 +114,7 @@ def demo_tandem(
             ),
             routes=(tuple(names),),
             admission="auto",
+            reclamation=reclamation,
         )
 
     return NetworkScenario(

@@ -212,6 +212,13 @@ class ChurnSpec:
         admission: ``"auto"`` derives the admission region from each
             node's scheme (FIFO family -> eqs. 7-9, else eqs. 5-6);
             ``"fifo"`` / ``"wfq"`` force one region everywhere.
+        reclamation: run the dynamic-provisioning pipeline: each hop
+            keeps a live :class:`~repro.core.pool.BufferPool`, buffer
+            admission tests against the pool instead of the static
+            region, departures reclaim their reservation, and the
+            surviving population's thresholds are rescaled online
+            (footnote 5).  Off (the default) reproduces the static
+            pre-booked behaviour byte for byte.
     """
 
     arrival_rate: float
@@ -219,6 +226,7 @@ class ChurnSpec:
     templates: tuple[FlowSpec, ...]
     routes: tuple[tuple[str, ...], ...]
     admission: str = "auto"
+    reclamation: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "templates", tuple(self.templates))
@@ -256,6 +264,7 @@ class ChurnSpec:
             "templates": [_flow_to_dict(t) for t in self.templates],
             "routes": [list(route) for route in self.routes],
             "admission": self.admission,
+            "reclamation": bool(self.reclamation),
         }
 
     @staticmethod
@@ -266,6 +275,7 @@ class ChurnSpec:
             templates=tuple(_flow_from_dict(t) for t in raw["templates"]),
             routes=tuple(tuple(route) for route in raw["routes"]),
             admission=str(raw.get("admission", "auto")),
+            reclamation=bool(raw.get("reclamation", False)),
         )
 
 

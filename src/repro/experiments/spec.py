@@ -189,6 +189,7 @@ class NetworkSpec:
                 hops=int(raw.get("hops", 3)),
                 sim_time=float(raw.get("sim_time", 8.0)),
                 churn=bool(raw.get("churn", True)),
+                reclamation=bool(raw.get("reclamation", False)),
             )
         elif isinstance(network, dict):
             scenario = NetworkScenario.from_dict(network)

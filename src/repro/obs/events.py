@@ -24,6 +24,8 @@ __all__ = [
     "DepartEvent",
     "ThresholdCrossEvent",
     "HeadroomEvent",
+    "ReprovisionEvent",
+    "PoolEvent",
     "HeapCompactEvent",
     "event_to_dict",
     "event_from_dict",
@@ -36,7 +38,12 @@ __all__ = [
 #: of multi-node scenarios (:mod:`repro.net`, the experiments fabric)
 #: attribute every event to the hop that produced it.  Single-port runs
 #: leave it empty.
-TRACE_SCHEMA = "repro-trace-v2"
+#:
+#: v3: live reprovisioning adds ``reprovision`` (a flow's threshold was
+#: changed or withdrawn at run time) and ``pool`` (a node's buffer-pool
+#: split changed), making the pool-consistency invariant (RPR206)
+#: auditable from a trace.
+TRACE_SCHEMA = "repro-trace-v3"
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,6 +127,46 @@ class HeadroomEvent:
 
 
 @dataclass(frozen=True, slots=True)
+class ReprovisionEvent:
+    """A flow's buffer threshold changed while the run was live.
+
+    Emitted by managers with per-flow thresholds when
+    ``reprovision``/``retire`` is called on them (churn reclamation,
+    online rescale).  ``threshold`` is the value now in force —
+    ``0.0`` after a retirement — and ``previous`` the value it
+    replaced.  The change is drain-safe: packets already queued above
+    a shrunken threshold depart normally and are never retro-dropped.
+    """
+
+    kind: ClassVar[str] = "reprovision"
+    time: float
+    flow_id: int
+    threshold: float
+    previous: float
+    node: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class PoolEvent:
+    """A node's buffer-pool split changed (reserve/retire/reprovision).
+
+    Snapshot of the :class:`~repro.core.pool.BufferPool` accounting
+    after the transition.  The pool-consistency invariant (RPR206)
+    requires ``reserved + headroom + holes == capacity`` at every such
+    point, which is what makes reclamation auditable from a trace.
+    """
+
+    kind: ClassVar[str] = "pool"
+    time: float
+    reserved: float
+    headroom: float
+    holes: float
+    capacity: float
+    flows: int
+    node: str = ""
+
+
+@dataclass(frozen=True, slots=True)
 class HeapCompactEvent:
     """The engine rebuilt its heap to purge cancelled events."""
 
@@ -138,6 +185,8 @@ EVENT_TYPES: dict[str, type] = {
         DepartEvent,
         ThresholdCrossEvent,
         HeadroomEvent,
+        ReprovisionEvent,
+        PoolEvent,
         HeapCompactEvent,
     )
 }

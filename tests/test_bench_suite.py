@@ -43,6 +43,7 @@ class TestSuiteDefinition:
             "engine-cancel",
             "onoff-batched",
             "churn",
+            "churn-reclaim",
         }
 
     def test_quick_and_full_have_different_digests(self):

@@ -87,7 +87,7 @@ class TestOutputs:
     def test_list_invariants_prints_catalog(self, capsys):
         assert main(["--list-invariants"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for code in ("RPR201", "RPR202", "RPR203", "RPR204", "RPR205"):
+        for code in ("RPR201", "RPR202", "RPR203", "RPR204", "RPR205", "RPR206"):
             assert code in out
 
     def test_help_exits_zero(self, capsys):

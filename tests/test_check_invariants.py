@@ -68,6 +68,7 @@ class TestCatalog:
             "RPR203",
             "RPR204",
             "RPR205",
+            "RPR206",
         ]
 
 

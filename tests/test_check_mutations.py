@@ -2,8 +2,9 @@
 
 Each test plants exactly one defect — an oversubscribed buffer, a rate
 overflow, a broken route, an infeasible churn region, a stale schema
-tag, an orphan RNG stream, an unregistered trace event, a hot-loop time
-accumulation — and asserts the auditor/linter reports the matching
+tag, a leaky buffer-pool trace, an orphan RNG stream, an unregistered
+trace event, a hot-loop time accumulation — and asserts the
+auditor/linter reports the matching
 finding code.  This is the proof that the checks detect, not just that
 they stay quiet on clean input.
 """
@@ -76,6 +77,26 @@ class TestInvariantMutations:
         findings = check_paths([str(target)])
         assert seeded_codes(findings) == ["RPR205"]
         assert failing(findings)  # error severity: fails the gate
+
+    def test_leaky_pool_trace_raises_rpr206(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        header = {"schema": "repro-trace-v3"}
+        leaky = {
+            "kind": "pool",
+            "time": 1.0,
+            "reserved": 400.0,
+            "headroom": 100.0,
+            "holes": 400.0,  # 400 + 100 + 400 != 1000
+            "capacity": 1000.0,
+            "flows": 1,
+            "node": "n0->n1",
+        }
+        target.write_text(
+            json.dumps(header) + "\n" + json.dumps(leaky) + "\n", encoding="utf-8"
+        )
+        findings = check_paths([str(target)])
+        assert seeded_codes(findings) == ["RPR206"]
+        assert failing(findings)
 
 
 def lint_codes(tmp_path, relpath, source):

@@ -120,6 +120,37 @@ class TestBlockingAccounting:
         report = run_fabric(demo_tandem(hops=2, sim_time=4.0, seed=2)).churn
         assert ChurnReport.from_dict(report.to_dict()) == report
 
+    def test_unknown_rejections_counted_separately(self):
+        from repro.experiments.fabric import ChurnReport
+
+        report = ChurnReport(
+            arrivals=5, accepted=2, blocked_bandwidth=1, blocked_buffer=1,
+            blocked_unknown=1,
+        )
+        assert report.blocked == 3
+        assert report.to_dict()["blocked_unknown"] == 1
+        assert ChurnReport.from_dict(report.to_dict()) == report
+
+    def test_unclassified_rejection_is_not_charged_to_buffer(self):
+        from repro.experiments.fabric.churn import FlowChurnProcess
+
+        process = FlowChurnProcess.__new__(FlowChurnProcess)
+        from repro.experiments.fabric import ChurnReport
+
+        process.report = ChurnReport()
+        process._record_rejection("a", None)
+        assert process.report.blocked_unknown == 1
+        assert process.report.blocked_buffer == 0
+        assert process.report.blocked_bandwidth == 0
+        assert process.report.per_node["a"] == {"unknown": 1}
+
+    def test_old_records_without_unknown_still_load(self):
+        from repro.experiments.fabric import ChurnReport
+
+        raw = ChurnReport(arrivals=3, accepted=3).to_dict()
+        del raw["blocked_unknown"]
+        assert ChurnReport.from_dict(raw).blocked_unknown == 0
+
 
 class TestAdmissionRelease:
     def test_departures_release_capacity_for_later_arrivals(self):

@@ -64,3 +64,21 @@ class TestAlpha:
     def test_invalid_alpha_rejected(self):
         with pytest.raises(ConfigurationError):
             DynamicThresholdManager(1000.0, alpha=0.0)
+
+
+class TestReprovisionContract:
+    def test_reprovision_is_a_validating_no_op(self):
+        # The dynamic rule has no per-flow state to resize; the call
+        # validates and returns so churn can treat managers uniformly.
+        manager = DynamicThresholdManager(1000.0, alpha=1.0)
+        manager.reprovision(3, 250.0)
+        assert type(manager).has_flow_thresholds is False
+        with pytest.raises(ConfigurationError):
+            manager.reprovision(3, -1.0)
+
+    def test_retire_reclaims_drained_occupancy_entry(self):
+        manager = DynamicThresholdManager(1000.0, alpha=1.0)
+        manager.try_admit(3, 100.0)
+        manager.retire(3)
+        manager.on_depart(3, 100.0)
+        assert 3 not in manager._occupancy

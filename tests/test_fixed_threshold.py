@@ -75,3 +75,58 @@ class TestValidation:
     def test_zero_threshold_blocks_flow(self):
         manager = FixedThresholdManager(1000.0, {0: 0.0})
         assert not manager.try_admit(0, 1.0)
+
+
+class TestReprovisionRetire:
+    def test_reprovision_installs_a_threshold_live(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0})
+        assert not manager.try_admit(7, 100.0)
+        manager.reprovision(7, 300.0)
+        assert manager.threshold(7) == 300.0
+        assert manager.try_admit(7, 300.0)
+
+    def test_shrinking_threshold_is_drain_safe(self):
+        # Occupancy above a shrunken threshold is never dropped
+        # retroactively: it blocks new admissions and drains normally.
+        manager = FixedThresholdManager(1000.0, {0: 400.0})
+        manager.try_admit(0, 400.0)
+        manager.reprovision(0, 100.0)
+        assert manager.occupancy(0) == 400.0
+        assert not manager.try_admit(0, 50.0)
+        manager.on_depart(0, 350.0)
+        assert manager.try_admit(0, 50.0)
+
+    def test_retire_withdraws_the_threshold(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0})
+        manager.retire(0)
+        assert manager.threshold(0) == manager.default_threshold
+        assert not manager.try_admit(0, 1.0)
+
+    def test_retire_reclaims_occupancy_entry_after_drain(self):
+        manager = FixedThresholdManager(1000.0, {0: 400.0})
+        manager.try_admit(0, 200.0)
+        manager.retire(0)
+        assert manager.occupancy(0) == 200.0  # still draining
+        manager.on_depart(0, 200.0)
+        assert 0 not in manager._occupancy  # entry reclaimed
+
+    def test_negative_reprovision_rejected(self):
+        manager = FixedThresholdManager(1000.0, {})
+        with pytest.raises(ConfigurationError):
+            manager.reprovision(0, -1.0)
+
+    def test_reprovision_emits_a_trace_event(self):
+        from repro.obs import RingSink
+        from repro.obs.events import ReprovisionEvent
+
+        manager = FixedThresholdManager(1000.0, {0: 400.0})
+        sink = RingSink()
+        manager.attach_trace(sink, lambda: 1.5, node="n0")
+        manager.reprovision(0, 250.0)
+        manager.retire(0)
+        kinds = [e for e in sink.events() if isinstance(e, ReprovisionEvent)]
+        assert [(e.threshold, e.previous) for e in kinds] == [
+            (250.0, 400.0),
+            (manager.default_threshold, 250.0),
+        ]
+        assert kinds[0].node == "n0"

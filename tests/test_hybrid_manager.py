@@ -78,3 +78,27 @@ class TestValidation:
     def test_class_index_out_of_range(self):
         with pytest.raises(ConfigurationError):
             HybridBufferManager({0: 3}, [TailDropManager(100.0)])
+
+
+class TestReprovisionRetire:
+    def test_reprovision_delegates_to_the_class_manager(self):
+        hybrid, managers = make_hybrid()
+        hybrid.reprovision(2, 450.0)
+        assert managers[1].threshold(2) == 450.0
+        assert managers[0].threshold(2) != 450.0
+        assert hybrid.threshold(2) == 450.0
+
+    def test_retire_delegates_and_keeps_class_mapping(self):
+        hybrid, managers = make_hybrid()
+        hybrid.try_admit(0, 300.0)
+        hybrid.retire(0)
+        assert managers[0].threshold(0) == managers[0].default_threshold
+        # The class mapping survives so in-flight packets still route to
+        # the right sub-manager while they drain.
+        hybrid.on_depart(0, 300.0)
+        assert hybrid.occupancy(0) == 0.0
+
+    def test_unknown_flow_rejected(self):
+        hybrid, _ = make_hybrid()
+        with pytest.raises(ConfigurationError):
+            hybrid.reprovision(9, 100.0)

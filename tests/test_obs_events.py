@@ -10,6 +10,8 @@ from repro.obs.events import (
     EnqueueEvent,
     HeadroomEvent,
     HeapCompactEvent,
+    PoolEvent,
+    ReprovisionEvent,
     ThresholdCrossEvent,
     event_from_dict,
     event_to_dict,
@@ -27,6 +29,18 @@ SAMPLES = [
     EnqueueEvent(time=6.0, flow_id=3, size=500.0, backlog=7, node="n1"),
     DropEvent(time=6.5, flow_id=9, size=500.0, reason="threshold", node="n2"),
     DepartEvent(time=7.0, flow_id=3, size=500.0, delay=0.004, node="n1"),
+    ReprovisionEvent(
+        time=8.0, flow_id=3, threshold=5000.0, previous=4000.0, node="n1"
+    ),
+    PoolEvent(
+        time=8.5,
+        reserved=6000.0,
+        headroom=1000.0,
+        holes=3000.0,
+        capacity=10000.0,
+        flows=2,
+        node="n1",
+    ),
 ]
 
 
@@ -39,6 +53,8 @@ class TestVocabulary:
             "threshold",
             "headroom",
             "compact",
+            "reprovision",
+            "pool",
         }
 
     def test_kind_tags_match_classes(self):

@@ -76,3 +76,31 @@ class TestInvariantEnforcement:
         manager.try_admit(1, 80.0)
         with pytest.raises(SimulationError):
             manager.try_admit(1, 80.0)
+
+
+class TestReprovisionRetireBase:
+    def test_base_reprovision_rejected_without_thresholds(self):
+        # Thresholdless policies expose the contract but refuse it
+        # loudly rather than silently ignoring a resize request.
+        manager = TailDropManager(1000.0)
+        assert type(manager).has_flow_thresholds is False
+        with pytest.raises(ConfigurationError):
+            manager.reprovision(1, 100.0)
+
+    def test_retire_idle_flow_drops_its_entry_immediately(self):
+        manager = AdmitAll(1000.0)
+        manager.try_admit(1, 100.0)
+        manager.on_depart(1, 100.0)
+        assert 1 in manager._occupancy  # zero-valued entry lingers
+        manager.retire(1)
+        assert 1 not in manager._occupancy
+
+    def test_retire_active_flow_waits_for_drain(self):
+        manager = AdmitAll(1000.0)
+        manager.try_admit(1, 300.0)
+        manager.retire(1)
+        assert manager.occupancy(1) == 300.0
+        manager.on_depart(1, 200.0)
+        assert 1 in manager._occupancy  # still draining
+        manager.on_depart(1, 100.0)
+        assert 1 not in manager._occupancy

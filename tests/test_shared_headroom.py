@@ -116,6 +116,45 @@ class TestDepartures:
         assert manager.headroom == 200.0  # capped at H
         assert manager.holes == 800.0
 
+    def test_departure_with_headroom_already_at_cap_goes_to_holes(self):
+        # Headroom sits exactly at H: the refill rule must route the
+        # entire departure to holes without pushing headroom past cap.
+        manager = make_manager(capacity=1000.0, thresholds={0: 500.0},
+                               headroom=200.0)
+        manager.try_admit(0, 400.0)  # holes 400, headroom 200 (at cap)
+        manager.on_depart(0, 300.0)
+        assert manager.headroom == 200.0
+        assert manager.holes == 700.0
+        assert manager.holes + manager.headroom + manager.total_occupancy == (
+            pytest.approx(manager.capacity)
+        )
+
+    def test_departure_with_zero_headroom_cap_goes_to_holes(self):
+        # H == 0 degenerates to complete sharing: there is no headroom
+        # to refill, every departed byte becomes a hole.
+        manager = SharedHeadroomManager(1000.0, {0: 500.0}, headroom=0.0)
+        manager.try_admit(0, 500.0)
+        manager.on_depart(0, 200.0)
+        assert manager.headroom == 0.0
+        assert manager.holes == 700.0
+        assert manager.holes + manager.headroom + manager.total_occupancy == (
+            pytest.approx(manager.capacity)
+        )
+
+    def test_departure_larger_than_headroom_deficit_splits(self):
+        # Deficit below cap is 200; a 300-byte departure refills the
+        # headroom to exactly H and the remaining 100 becomes holes.
+        manager = make_manager(capacity=1000.0, thresholds={0: 400.0, 1: 0.0},
+                               headroom=200.0)
+        manager.try_admit(1, 800.0)  # holes 0, headroom 200
+        manager.try_admit(0, 200.0)  # headroom 0: deficit 200
+        manager.on_depart(1, 300.0)
+        assert manager.headroom == 200.0
+        assert manager.holes == 100.0
+        assert manager.holes + manager.headroom + manager.total_occupancy == (
+            pytest.approx(manager.capacity)
+        )
+
     def test_invariant_after_mixed_operations(self):
         manager = make_manager()
         manager.try_admit(0, 250.0)
