@@ -14,7 +14,11 @@ Usage::
 
     python -m repro obs trace --spec spec.json --trace-out trace.jsonl
     python -m repro obs trace --input trace.jsonl --flow 3 --type drop
+    python -m repro obs trace --input net.jsonl --node n0->n1 --kind drop
     python -m repro obs report          # summarize results/telemetry
+    python -m repro obs timeline        # sim-time series over a demo run
+    python -m repro obs monitor         # live analytic-bound conformance
+    python -m repro obs monitor --undersized   # provoke violations
 
     python -m repro bench run --quick   # measure the benchmark suite
     python -m repro bench compare --baseline benchmarks/baselines
@@ -57,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figure to run (figure1..figure13), 'all', 'list', 'run' "
             "with --spec for declarative scenarios, 'campaign' with an "
             "action (run/status/clear-cache), 'obs' with an action "
-            "(trace/report), 'bench' with an action "
+            "(trace/report/timeline/monitor), 'bench' with an action "
             "(run/compare/update-baseline), or 'net' with an action "
             "(demo/reclaim)"
         ),
@@ -67,7 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="campaign action (run, status, clear-cache), obs action "
-        "(trace, report), or net action (demo, reclaim)",
+        "(trace, report, timeline, monitor), or net action (demo, reclaim)",
     )
     parser.add_argument(
         "--spec",
@@ -138,17 +142,59 @@ def build_parser() -> argparse.ArgumentParser:
         "enqueue, drop, depart (repeatable)",
     )
     parser.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        dest="event_type",
+        help="alias for --type (merged with it when both are given)",
+    )
+    parser.add_argument(
+        "--node",
+        action="append",
+        default=None,
+        help="restrict 'obs trace' output to events from this node label, "
+        "e.g. n0->n1 (repeatable; '' selects single-port events)",
+    )
+    parser.add_argument(
         "--hops",
         type=int,
         default=3,
-        help="tandem length for 'net demo' / 'net reclaim' (default 3)",
+        help="tandem length for 'net demo' / 'net reclaim' / "
+        "'obs timeline' / 'obs monitor' (default 3)",
     )
     parser.add_argument(
         "--seed",
         type=int,
         default=0,
-        help="root seed for 'net demo'; first of three seeds for "
-        "'net reclaim' (default 0)",
+        help="root seed for 'net demo' and the obs demo runs; first of "
+        "three seeds for 'net reclaim' (default 0)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="sampling/sweep cadence in simulated seconds for "
+        "'obs timeline' / 'obs monitor' (default 0.05)",
+    )
+    parser.add_argument(
+        "--timeline-out",
+        type=pathlib.Path,
+        default=None,
+        help="write the sampled timeline as JSONL (repro-timeline-v1) "
+        "for 'obs timeline' / 'obs monitor'",
+    )
+    parser.add_argument(
+        "--undersized",
+        action="store_true",
+        help="run the deliberately undersized tandem in 'obs monitor' "
+        "(provokes conformant-drop violations)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable JSON output for 'obs timeline' / "
+        "'obs monitor'",
     )
     parser.add_argument(
         "--no-churn",
@@ -335,6 +381,7 @@ def run_obs(args: argparse.Namespace) -> int:
             read_events(trace_path),
             flows=args.flow,
             kinds=args.event_type,
+            nodes=args.node,
             since=args.since,
             until=args.until,
         )
@@ -357,11 +404,119 @@ def run_obs(args: argparse.Namespace) -> int:
             return 0
         print(CampaignReport.from_telemetry(entries).render())
         return 0
+    if args.action == "timeline":
+        return run_obs_timeline(args)
+    if args.action == "monitor":
+        return run_obs_monitor(args)
     print(
-        f"unknown obs action {args.action!r}; use trace or report",
+        f"unknown obs action {args.action!r}; use trace, report, "
+        "timeline, or monitor",
         file=sys.stderr,
     )
     return 2
+
+
+def _obs_demo_interval(args: argparse.Namespace) -> float:
+    from repro.obs.timeline import DEFAULT_INTERVAL
+
+    return DEFAULT_INTERVAL if args.interval is None else args.interval
+
+
+def _write_timeline_out(args: argparse.Namespace, timeline) -> None:
+    if args.timeline_out is None:
+        return
+    args.timeline_out.parent.mkdir(parents=True, exist_ok=True)
+    timeline.write_jsonl(args.timeline_out)
+    print(f"# timeline written to {args.timeline_out}", file=sys.stderr)
+
+
+def run_obs_timeline(args: argparse.Namespace) -> int:
+    """Sample the reference tandem demo and render the sim-time series."""
+    import json
+
+    from repro.experiments.fabric import run_fabric
+    from repro.experiments.fabric.demo import TARGET_FLOW_ID, demo_tandem
+    from repro.obs.timeline import Timeline
+
+    if args.hops < 1:
+        print("'obs timeline' needs --hops >= 1", file=sys.stderr)
+        return 2
+    interval = _obs_demo_interval(args)
+    if interval <= 0:
+        print("'obs timeline' needs --interval > 0", file=sys.stderr)
+        return 2
+    timeline = Timeline(interval=interval, flows=(TARGET_FLOW_ID,))
+    scenario = demo_tandem(
+        hops=args.hops,
+        seed=args.seed,
+        churn=not args.no_churn,
+        reclamation=not args.no_churn,
+        delay_histograms=False,
+    )
+    result = run_fabric(scenario, timeline=timeline)
+    _write_timeline_out(args, timeline)
+    if args.as_json:
+        print(json.dumps(timeline.summary().to_dict(), sort_keys=True))
+        return 0
+    print(
+        f"timeline: {args.hops}-hop tandem, seed {args.seed}, "
+        f"{scenario.sim_time:g} s simulated, {timeline.ticks} samples "
+        f"every {interval:g} s, {result.events_processed} events"
+    )
+    print()
+    print(timeline.render())
+    return 0
+
+
+def run_obs_monitor(args: argparse.Namespace) -> int:
+    """Run a demo tandem under the live conformance monitor."""
+    import json
+
+    from repro.experiments.fabric import run_fabric
+    from repro.experiments.fabric.demo import (
+        TARGET_FLOW_ID,
+        demo_tandem,
+        undersized_tandem,
+    )
+    from repro.obs.monitor import ConformanceMonitor
+    from repro.obs.timeline import Timeline
+
+    if args.hops < 1:
+        print("'obs monitor' needs --hops >= 1", file=sys.stderr)
+        return 2
+    interval = _obs_demo_interval(args)
+    if interval <= 0:
+        print("'obs monitor' needs --interval > 0", file=sys.stderr)
+        return 2
+    monitor = ConformanceMonitor(interval=interval)
+    timeline = None
+    if args.timeline_out is not None:
+        timeline = Timeline(interval=interval, flows=(TARGET_FLOW_ID,))
+    if args.undersized:
+        scenario = undersized_tandem(hops=args.hops, seed=args.seed)
+    else:
+        scenario = demo_tandem(
+            hops=args.hops,
+            seed=args.seed,
+            churn=not args.no_churn,
+            reclamation=not args.no_churn,
+            delay_histograms=False,
+        )
+    result = run_fabric(scenario, timeline=timeline, monitor=monitor)
+    report = result.monitor_report
+    if timeline is not None:
+        _write_timeline_out(args, timeline)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+        return 0 if report.ok else 1
+    flavour = "undersized" if args.undersized else "reference"
+    print(
+        f"monitor: {flavour} {args.hops}-hop tandem, seed {args.seed}, "
+        f"{scenario.sim_time:g} s simulated, {result.events_processed} events"
+    )
+    print()
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def run_net(args: argparse.Namespace) -> int:
@@ -438,7 +593,8 @@ def run_net(args: argparse.Namespace) -> int:
             f"churn: {report.arrivals} arrivals, {report.accepted} accepted, "
             f"{report.blocked} blocked "
             f"({report.blocked_bandwidth} bandwidth-limited / "
-            f"{report.blocked_buffer} buffer-limited), "
+            f"{report.blocked_buffer} buffer-limited / "
+            f"{report.blocked_unknown} unattributed), "
             f"blocking probability {report.blocking_probability:.3f}"
         )
         for node, reasons in sorted(report.per_node.items()):

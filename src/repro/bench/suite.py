@@ -15,8 +15,9 @@ Two kinds of cases:
   silently measuring something else.
 * **Micro** cases mirror the pytest-benchmark engine workloads (event
   chain, preloaded heap, cancellation drain) plus a batched-RNG source
-  workload and an admission-dominated churn workload, with and without
-  live buffer reclamation.  They are
+  workload, an admission-dominated churn workload with and without
+  live buffer reclamation, and a port loop sampled by an installed
+  sim-time :class:`~repro.obs.timeline.Timeline`.  They are
   digested over their canonical parameters tagged with
   :data:`~repro.bench.baseline.BENCH_SCHEMA`.
 
@@ -44,9 +45,14 @@ from repro.experiments.fabric import (
     run_fabric,
 )
 from repro.experiments.fabric.demo import demo_tandem
+from repro.core.fixed_threshold import FixedThresholdManager
 from repro.experiments.schemes import Scheme
 from repro.experiments.workloads import CASE1_GROUPS, table1_flows
+from repro.obs.timeline import Timeline
+from repro.sched.fifo import FIFOScheduler
 from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.port import OutputPort
 from repro.traffic.profiles import FlowSpec
 from repro.traffic.sources import OnOffSource
 from repro.units import kbytes, mbps, mbytes
@@ -290,6 +296,43 @@ def _run_churn(params: dict) -> int:
     return run_fabric(scenario).events_processed
 
 
+def _run_timeline_sampled(params: dict) -> int:
+    """An overloaded port loop under an installed sim-time Timeline.
+
+    Mirrors the bench_micro_obs port workload with the sampler running:
+    the cost tracked here is the periodic probe pull (one self-
+    rescheduling event per interval), which must stay proportional to
+    the cadence rather than to traffic volume.
+    """
+    sim = Simulator()
+    manager = FixedThresholdManager(
+        capacity=50_000.0, thresholds={}, default_threshold=10_000.0
+    )
+    # repro: noqa RPR106 — mirrors the bench_micro_obs bare-port loop;
+    port = OutputPort(sim, 1e6, FIFOScheduler(), manager)
+    timeline = Timeline(interval=params["interval"])
+    timeline.probe("occupancy", lambda: manager.total_occupancy)
+    timeline.probe("free_space", lambda: manager.free_space)
+    timeline.probe("backlog_packets", lambda: float(port.backlog_packets))
+
+    n = params["n_packets"]
+    interarrival = 0.0004  # 500 B / 1 MB/s service: sustained overload
+    state = {"sent": 0}
+
+    def arrival() -> None:
+        port.receive(
+            Packet(flow_id=state["sent"] % 8, size=500.0, created=sim.now)
+        )
+        state["sent"] += 1
+        if state["sent"] < n:
+            sim.schedule_fast(interarrival, arrival)
+
+    sim.schedule_fast(0.0, arrival)
+    timeline.install(sim, n * interarrival)
+    sim.run()
+    return sim.events_processed + timeline.ticks
+
+
 def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
     return [
         BenchCase(
@@ -339,6 +382,12 @@ def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
                 "reclamation": True,
             },
         ),
+        BenchCase(
+            "timeline-sampled",
+            MICRO,
+            runner=_run_timeline_sampled,
+            params={"n_packets": n_events // 10, "interval": 0.01},
+        ),
     ]
 
 
@@ -346,7 +395,7 @@ def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
 
 
 def default_suite(quick: bool = False) -> list[BenchCase]:
-    """The curated suite: five macro + six micro cases.
+    """The curated suite: five macro + seven micro cases.
 
     ``quick`` shrinks sim time and op counts for CI-class machines; the
     case *digests* change with it, so quick and full baselines never

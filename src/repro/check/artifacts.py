@@ -15,7 +15,9 @@ CI at the lint gate rather than deep inside a campaign:
 * JSONL trace files — the :data:`repro.obs.events.TRACE_SCHEMA` header,
   plus capacity conservation of any pool snapshots they carry (RPR206);
 * JSONL telemetry files — :data:`repro.obs.telemetry.TELEMETRY_SCHEMA`
-  per line.
+  per line;
+* JSONL timeline exports — the :data:`repro.obs.timeline.TIMELINE_SCHEMA`
+  header written by :meth:`repro.obs.timeline.Timeline.write_jsonl`.
 
 Tags are matched by family (the part before the ``-v<N>`` suffix), so a
 stale ``repro-bench-v0`` is reported as *drift* against the current
@@ -34,6 +36,7 @@ from repro.experiments.campaign.network import NETWORK_SCHEMA
 from repro.lint.findings import Finding
 from repro.obs.events import TRACE_SCHEMA
 from repro.obs.telemetry import TELEMETRY_SCHEMA
+from repro.obs.timeline import TIMELINE_SCHEMA
 
 __all__ = ["GOLDENS_SCHEMA", "KNOWN_SCHEMAS", "check_artifact_file", "schema_family"]
 
@@ -48,6 +51,7 @@ KNOWN_SCHEMAS: dict[str, str] = {
     "repro-equivalence": GOLDENS_SCHEMA,
     "repro-trace": TRACE_SCHEMA,
     "repro-telemetry": TELEMETRY_SCHEMA,
+    "repro-timeline": TIMELINE_SCHEMA,
 }
 
 

@@ -38,6 +38,10 @@ class FixedThresholdManager(BufferManager):
 
     has_flow_thresholds = True
 
+    # Admission enforces occupancy + size <= threshold, so the
+    # threshold is a hard cap the conformance monitor may check.
+    enforces_thresholds = True
+
     def __init__(
         self,
         capacity: float,

@@ -71,6 +71,15 @@ class BufferManager(ABC):
     #: duck-typed ``getattr(manager, "thresholds", None)`` probing.
     has_flow_thresholds: ClassVar[bool] = False
 
+    #: Whether the per-flow threshold is a *hard* occupancy cap — a
+    #: flow's occupancy can never exceed ``threshold(flow_id)`` outside
+    #: a drain-safe reprovision window.  True only for strict
+    #: partitioning (Prop. 2): sharing schemes deliberately let flows
+    #: borrow past their threshold, and dynamic thresholds move under a
+    #: flow's feet.  The live conformance monitor only arms its
+    #: occupancy-vs-threshold check when this is True.
+    enforces_thresholds: ClassVar[bool] = False
+
     def __init__(self, capacity: float):
         if capacity <= 0:
             raise ConfigurationError(f"buffer capacity must be positive, got {capacity}")

@@ -156,6 +156,10 @@ class NetworkRecord:
     #: Execution telemetry; excluded from equality and serialization so
     #: cached, serial and parallel runs stay byte-identical.
     telemetry: JobTelemetry | None = field(default=None, compare=False)
+    #: Per-job observability (``REPRO_MONITOR``): timeline summary and
+    #: conformance report, treated exactly like telemetry.
+    timeline_summary: object | None = field(default=None, compare=False)
+    monitor: object | None = field(default=None, compare=False)
 
     # -- construction -----------------------------------------------------
 

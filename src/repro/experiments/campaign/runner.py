@@ -32,6 +32,7 @@ from repro.experiments.campaign.job import ScenarioJob
 from repro.experiments.campaign.record import ScenarioRecord
 from repro.experiments.config import (
     campaign_cache_setting,
+    campaign_monitor_enabled,
     campaign_telemetry_setting,
     campaign_workers,
 )
@@ -68,13 +69,27 @@ def execute_job(job):
     from repro.experiments.fabric import run_fabric
     from repro.experiments.runner import run_scenario
 
+    timeline = None
+    monitor = None
+    if campaign_monitor_enabled():
+        from repro.obs.monitor import ConformanceMonitor
+        from repro.obs.timeline import Timeline
+
+        timeline = Timeline()
+        monitor = ConformanceMonitor()
+
     # repro: noqa RPR101 — telemetry measures real wall time, never sim state
     start = time.perf_counter()
     if isinstance(job, NetworkJob):
-        record = NetworkRecord.from_result(run_fabric(job.scenario), job.digest())
+        record = NetworkRecord.from_result(
+            run_fabric(job.scenario, timeline=timeline, monitor=monitor),
+            job.digest(),
+        )
     else:
         result = run_scenario(
-            job.flows, job.scheme, job.buffer_size, **job.scenario_kwargs()
+            job.flows, job.scheme, job.buffer_size,
+            timeline=timeline, monitor=monitor,
+            **job.scenario_kwargs(),
         )
         record = ScenarioRecord.from_result(result, job.digest())
     # repro: noqa RPR101 — telemetry measures real wall time, never sim state
@@ -88,6 +103,8 @@ def execute_job(job):
             cache_hit=False,
             worker=os.getpid(),
         ),
+        timeline_summary=None if timeline is None else timeline.summary(),
+        monitor=None if monitor is None else monitor.last_report,
     )
 
 

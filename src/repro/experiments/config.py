@@ -21,6 +21,7 @@ __all__ = [
     "campaign_workers",
     "campaign_cache_setting",
     "campaign_telemetry_setting",
+    "campaign_monitor_enabled",
 ]
 
 
@@ -66,6 +67,19 @@ def campaign_telemetry_setting() -> str | None:
     if raw in ("", "0", "false", "no"):
         return None
     return raw
+
+
+def campaign_monitor_enabled() -> bool:
+    """True when ``REPRO_MONITOR`` asks campaign jobs to self-verify.
+
+    With monitoring on, every executed job runs with a sim-time
+    :class:`~repro.obs.timeline.Timeline` and a
+    :class:`~repro.obs.monitor.ConformanceMonitor` attached; the
+    summary and the violation report land on the record's
+    non-serialized observability fields (cache entries stay
+    byte-identical, like telemetry).
+    """
+    return os.environ.get("REPRO_MONITOR", "").strip() not in ("", "0", "false", "no")
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.admission import AdmissionControl, FIFOAdmission, WFQAdmission
+from repro.analysis.delay import worst_case_fifo_delay
 from repro.core.pool import BufferPool
 from repro.core.thresholds import flow_threshold
 from repro.errors import ConfigurationError
@@ -38,6 +39,8 @@ from repro.experiments.runner import ScenarioResult
 from repro.experiments.schemes import Scheme, SchemeBuild, build_scheme
 from repro.metrics.collector import FlowStats, StatsCollector
 from repro.net.topology import DeliverySink, Network, per_hop_sigma
+from repro.obs.monitor import MonitorReport
+from repro.obs.sink import TeeSink
 from repro.sim.engine import Simulator
 from repro.sim.port import OutputPort
 from repro.traffic.shaper import LeakyBucketShaper
@@ -86,6 +89,12 @@ class FabricResult:
     delivery_collector: StatsCollector | None = None
     churn: ChurnReport | None = None
     scenario_result: ScenarioResult | None = None
+    #: The timeline passed into :func:`run_fabric`, post-run (series
+    #: filled); None when sampling was not requested.
+    timeline: object | None = None
+    #: The conformance monitor's finalized findings; None when no
+    #: monitor was attached.
+    monitor_report: MonitorReport | None = None
 
     @property
     def warmup(self) -> float:
@@ -126,6 +135,8 @@ def run_fabric(
     *,
     sink=None,
     registry=None,
+    timeline=None,
+    monitor=None,
 ) -> FabricResult:
     """Simulate a scenario and return its measurements.
 
@@ -136,14 +147,98 @@ def run_fabric(
         registry: optional :class:`~repro.obs.registry.MetricsRegistry`;
             network runs register the engine once and each link under
             ``node``/``link`` labels.
+        timeline: optional :class:`~repro.obs.timeline.Timeline`; probes
+            for every hop's occupancy/free space (plus headroom, pool
+            split and churn counts where applicable, and per-flow
+            occupancy for ``timeline.flows``) are wired and the sampler
+            installed for the run.  The filled timeline is returned on
+            :attr:`FabricResult.timeline`.
+        monitor: optional :class:`~repro.obs.monitor.ConformanceMonitor`;
+            attached alongside ``sink`` (teed), armed with the
+            scenario's analytic bounds, and finalized into
+            :attr:`FabricResult.monitor_report`.
     """
     if scenario.is_single_port:
-        return _run_single_port(scenario, sink=sink, registry=registry)
-    return _run_network(scenario, sink=sink, registry=registry)
+        return _run_single_port(
+            scenario, sink=sink, registry=registry,
+            timeline=timeline, monitor=monitor,
+        )
+    return _run_network(
+        scenario, sink=sink, registry=registry,
+        timeline=timeline, monitor=monitor,
+    )
+
+
+def _effective_sink(sink, monitor):
+    """The sink components attach: the recording sink, the monitor, or both."""
+    if monitor is None:
+        return sink
+    monitor.attach_trace(sink)
+    if sink is None:
+        return monitor
+    return TeeSink(sink, monitor)
+
+
+def _hop_delay_bound(build: SchemeBuild, buffer_size: float, rate: float):
+    """Worst-case per-hop queueing delay, or None when no tight bound applies.
+
+    FIFO-family schemes share one queue drained at the link rate, so
+    every admitted packet obeys ``B / R`` exactly.  WFQ-family schemes
+    would need the per-queue service guarantee plus the scheduler's
+    packetisation slack; the monitor stays silent rather than checking
+    against a bound that legitimate runs can exceed.
+    """
+    if build.queue_rates is not None:
+        return None
+    return worst_case_fifo_delay(buffer_size, rate)
+
+
+def _wire_link_monitor(
+    monitor, node: str, build: SchemeBuild, buffer_size: float, rate: float
+) -> None:
+    """Arm per-hop checks: the delay bound and hard-threshold occupancy."""
+    bound = _hop_delay_bound(build, buffer_size, rate)
+    if bound is not None:
+        monitor.set_hop_bound(node, bound)
+    manager = build.manager
+    if getattr(type(manager), "enforces_thresholds", False):
+        for flow_id in build.thresholds:
+            monitor.add_occupancy_check(
+                node,
+                flow_id,
+                (lambda manager=manager, fid=flow_id: manager.occupancy(fid)),
+                (lambda manager=manager, fid=flow_id: manager.threshold(fid)),
+            )
+
+
+def _wire_link_timeline(
+    timeline, node: str, build: SchemeBuild, crossing_flows
+) -> None:
+    """Register a hop's occupancy/headroom probes on the timeline."""
+    manager = build.manager
+    timeline.probe(
+        "occupancy", (lambda manager=manager: manager.total_occupancy), node=node
+    )
+    timeline.probe(
+        "free_space", (lambda manager=manager: manager.free_space), node=node
+    )
+    if hasattr(manager, "headroom") and hasattr(manager, "holes"):
+        timeline.probe(
+            "headroom", (lambda manager=manager: manager.headroom), node=node
+        )
+        timeline.probe("holes", (lambda manager=manager: manager.holes), node=node)
+    for flow_id in timeline.flows:
+        if flow_id in crossing_flows:
+            timeline.probe(
+                f"flow{flow_id}.occupancy",
+                (lambda manager=manager, fid=flow_id: manager.occupancy(fid)),
+                node=node,
+            )
 
 
 def _run_single_port(
-    scenario: NetworkScenario, *, sink=None, registry=None
+    scenario: NetworkScenario, *, sink=None, registry=None,
+    timeline=None, monitor=None,
 ) -> FabricResult:
     """The historical ``run_scenario`` pipeline, verbatim.
 
@@ -179,10 +274,24 @@ def _run_single_port(
         collector,
         recycle=scenario.recycle,
     )
-    if sink is not None:
-        port.attach_trace(sink)
+    effective = _effective_sink(sink, monitor)
+    if effective is not None:
+        port.attach_trace(effective)
     if registry is not None:
         port.register_metrics(registry)
+    if monitor is not None:
+        # Single-port events carry the empty node label.
+        _wire_link_monitor(monitor, "", build, node.buffer_size, link.rate)
+        for flow in flows:
+            if flow.conformant:
+                monitor.watch_flow(flow.flow_id, shaped=True, route=("",))
+        monitor.install(sim, scenario.sim_time)
+    if timeline is not None:
+        _wire_link_timeline(
+            timeline, "", build, frozenset(flow.flow_id for flow in flows)
+        )
+        timeline.probe("backlog_packets", lambda: float(port.backlog_packets))
+        timeline.install(sim, scenario.sim_time)
 
     seed_seq = np.random.SeedSequence(scenario.seed)
     child_seqs = seed_seq.spawn(len(flows))
@@ -240,11 +349,14 @@ def _run_single_port(
             )
         },
         scenario_result=result,
+        timeline=timeline,
+        monitor_report=None if monitor is None else monitor.finalize(),
     )
 
 
 def _run_network(
-    scenario: NetworkScenario, *, sink=None, registry=None
+    scenario: NetworkScenario, *, sink=None, registry=None,
+    timeline=None, monitor=None,
 ) -> FabricResult:
     """The general path: materialise the topology and route flows."""
     warmup = scenario.effective_warmup
@@ -325,10 +437,40 @@ def _run_network(
     for routed in scenario.flows:
         net.set_route(routed.spec.flow_id, list(routed.route))
 
-    if sink is not None:
-        net.attach_trace(sink)
+    effective = _effective_sink(sink, monitor)
+    if effective is not None:
+        net.attach_trace(effective)
     if registry is not None:
         net.register_metrics(registry)
+    if monitor is not None:
+        for link in scenario.links:
+            key = (link.src, link.dst)
+            _wire_link_monitor(
+                monitor,
+                link.label,
+                builds[key],
+                scenario.node(link.src).buffer_size,
+                link.rate,
+            )
+        for routed in scenario.flows:
+            if routed.spec.conformant:
+                route_labels = tuple(
+                    f"{src}->{dst}"
+                    for src, dst in zip(routed.route, routed.route[1:])
+                )
+                monitor.watch_flow(
+                    routed.spec.flow_id, shaped=True, route=route_labels
+                )
+        monitor.install(sim, scenario.sim_time)
+    if timeline is not None:
+        for link in scenario.links:
+            key = (link.src, link.dst)
+            crossing = frozenset(
+                routed.spec.flow_id
+                for routed in scenario.flows
+                if key in hop_sigmas[routed.spec.flow_id]
+            )
+            _wire_link_timeline(timeline, link.label, builds[key], crossing)
 
     seed_seq = np.random.SeedSequence(scenario.seed)
     child_seqs = seed_seq.spawn(len(scenario.flows))
@@ -355,8 +497,35 @@ def _run_network(
     churn_process = None
     if scenario.churn is not None:
         churn_process = _start_churn(
-            sim, net, scenario, links, builds, hop_sigmas, seed_seq, sink=sink
+            sim, net, scenario, links, builds, hop_sigmas, seed_seq,
+            sink=effective, monitor=monitor,
         )
+        if timeline is not None:
+            timeline.probe(
+                "churn.active", lambda: float(churn_process.active_count)
+            )
+            timeline.probe(
+                "churn.blocked", lambda: float(churn_process.report.blocked)
+            )
+            for state in churn_process.hops.values():
+                pool = state.pool
+                if pool is None:
+                    continue
+                timeline.probe(
+                    "pool.reserved",
+                    (lambda pool=pool: pool.reserved_total),
+                    node=state.label,
+                )
+                timeline.probe(
+                    "pool.headroom",
+                    (lambda pool=pool: pool.headroom),
+                    node=state.label,
+                )
+                timeline.probe(
+                    "pool.holes", (lambda pool=pool: pool.holes), node=state.label
+                )
+    if timeline is not None:
+        timeline.install(sim, scenario.sim_time)
 
     sim.run(until=scenario.sim_time, max_events=scenario.max_events)
 
@@ -367,6 +536,8 @@ def _run_network(
         delivery=delivery,
         delivery_collector=delivery_collector,
         churn=None if churn_process is None else churn_process.finalize(),
+        timeline=timeline,
+        monitor_report=None if monitor is None else monitor.finalize(delivery),
     )
 
 
@@ -380,6 +551,7 @@ def _start_churn(
     seed_seq: np.random.SeedSequence,
     *,
     sink=None,
+    monitor=None,
 ) -> FlowChurnProcess:
     """Build per-hop admission state, pre-book statics, start the process."""
     spec = scenario.churn
@@ -441,5 +613,6 @@ def _start_churn(
                 )
 
     return FlowChurnProcess(
-        sim, net, scenario, hops, seed_seq.spawn(1)[0], DYNAMIC_FLOW_BASE
+        sim, net, scenario, hops, seed_seq.spawn(1)[0], DYNAMIC_FLOW_BASE,
+        monitor=monitor,
     )

@@ -78,12 +78,16 @@ class HopState:
     rate: float
     pool: BufferPool | None = None
     manages_thresholds: bool = field(init=False, default=False)
+    enforces_thresholds: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
-        # First-class contract probe (class attribute, not instance
+        # First-class contract probes (class attributes, not instance
         # duck-typing): TailDrop and friends simply report False.
         self.manages_thresholds = bool(
             getattr(type(self.manager), "has_flow_thresholds", False)
+        )
+        self.enforces_thresholds = bool(
+            getattr(type(self.manager), "enforces_thresholds", False)
         )
 
     @property
@@ -169,6 +173,12 @@ class FlowChurnProcess:
             fresh grandchild, so acceptance decisions and source sample
             paths are independent streams.
         first_flow_id: id of the first dynamic flow.
+        monitor: optional
+            :class:`~repro.obs.monitor.ConformanceMonitor`; accepted
+            conformant flows are watched (with their route) and get
+            per-hop occupancy checks against the *live* manager
+            threshold, both torn down at departure — the guarantee ends
+            with the reservation.
     """
 
     def __init__(
@@ -179,6 +189,8 @@ class FlowChurnProcess:
         hops: dict[tuple[str, str], HopState],
         seed_seq: np.random.SeedSequence,
         first_flow_id: int,
+        *,
+        monitor=None,
     ) -> None:
         spec = scenario.churn
         if spec is None:
@@ -206,6 +218,7 @@ class FlowChurnProcess:
                     + ", ".join(sorted(missing))
                 )
         self.report = ChurnReport()
+        self.monitor = monitor
         self._seed_seq = seed_seq
         self._rng = np.random.default_rng(seed_seq)
         self._next_id = first_flow_id
@@ -299,6 +312,22 @@ class FlowChurnProcess:
         for state, sigma in zip(states, sigmas):
             self._install(state, flow_id, sigma, template.token_rate)
         self.network.set_route(flow_id, list(route))
+        if self.monitor is not None:
+            if template.conformant:
+                self.monitor.watch_flow(
+                    flow_id,
+                    shaped=True,
+                    route=tuple(state.label for state in states),
+                )
+            for state in states:
+                if state.enforces_thresholds:
+                    manager = state.manager
+                    self.monitor.add_occupancy_check(
+                        state.label,
+                        flow_id,
+                        (lambda manager=manager, fid=flow_id: manager.occupancy(fid)),
+                        (lambda manager=manager, fid=flow_id: manager.threshold(fid)),
+                    )
 
         destination = self.network.entry(flow_id)
         if template.conformant:
@@ -340,6 +369,12 @@ class FlowChurnProcess:
             return
         source, hop_keys, sigmas = entry
         source.stop()
+        if self.monitor is not None:
+            # The conformance guarantee ends with the reservation:
+            # retiring withdraws the threshold while queued (and
+            # shaper-held) packets drain, so the checks come down first.
+            self.monitor.unwatch_flow(flow_id)
+            self.monitor.drop_occupancy_checks(flow_id)
         for key, sigma in zip(hop_keys, sigmas):
             state = self.hops[key]
             state.admission.release(sigma, rho)
@@ -351,6 +386,11 @@ class FlowChurnProcess:
         self.report.departures += 1
 
     # -- finalisation -----------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        """Dynamic flows currently holding reservations."""
+        return len(self._active)
 
     def finalize(self) -> ChurnReport:
         """Close the books after the run; returns the filled report."""

@@ -26,7 +26,7 @@ from repro.experiments.schemes import Scheme
 from repro.traffic.profiles import FlowSpec
 from repro.units import kbytes, mbps, mbytes
 
-__all__ = ["demo_tandem", "TARGET_FLOW_ID"]
+__all__ = ["demo_tandem", "undersized_tandem", "TARGET_FLOW_ID"]
 
 #: Flow id of the conformant end-to-end target flow.
 TARGET_FLOW_ID = 0
@@ -125,4 +125,70 @@ def demo_tandem(
         sim_time=sim_time,
         seed=seed,
         delay_histograms=delay_histograms,
+    )
+
+
+def undersized_tandem(
+    *,
+    hops: int = 2,
+    seed: int = 0,
+    sim_time: float = 6.0,
+) -> NetworkScenario:
+    """The negative control: an overloaded tail-drop tandem.
+
+    Same shaped target flow as :func:`demo_tandem`, but the hops run
+    plain FIFO tail-drop over a buffer an order of magnitude smaller,
+    and the cross-traffic bursts are heavy enough to fill it.  Without
+    per-flow thresholds the conformant flow shares fate with the
+    bursts, so a :class:`~repro.obs.monitor.ConformanceMonitor` watching
+    it reports ``conformant-drop`` violations — the paper's motivating
+    failure mode, reproduced on demand (``repro obs monitor
+    --undersized``).
+    """
+    link_rate = mbps(48.0)
+    buffer_size = kbytes(40.0)
+    names = [f"n{i}" for i in range(hops + 1)]
+    nodes = tuple(
+        NodeSpec(name=name, scheme=Scheme.FIFO_NONE, buffer_size=buffer_size)
+        for name in names[:-1]
+    ) + (NodeSpec(name=names[-1]),)
+    links = tuple(
+        LinkSpec(names[i], names[i + 1], link_rate) for i in range(hops)
+    )
+
+    target = FlowSpec(
+        flow_id=TARGET_FLOW_ID,
+        peak_rate=mbps(8.0),
+        avg_rate=mbps(2.0),
+        bucket=kbytes(50.0),
+        token_rate=mbps(2.0),
+        conformant=True,
+        mean_burst=kbytes(50.0),
+    )
+    flows = [RoutedFlow(spec=target, route=tuple(names))]
+    for hop in range(hops):
+        for lane in range(2):
+            flow_id = 100 + 2 * hop + lane
+            flows.append(
+                RoutedFlow(
+                    spec=FlowSpec(
+                        flow_id=flow_id,
+                        peak_rate=mbps(40.0),
+                        avg_rate=mbps(12.0),
+                        bucket=kbytes(50.0),
+                        token_rate=mbps(12.0),
+                        conformant=False,
+                        mean_burst=kbytes(400.0),
+                    ),
+                    route=(names[hop], names[hop + 1]),
+                )
+            )
+
+    return NetworkScenario(
+        nodes=nodes,
+        links=links,
+        flows=tuple(flows),
+        sim_time=sim_time,
+        seed=seed,
+        delay_histograms=False,
     )

@@ -92,6 +92,8 @@ def run_scenario(
     max_events: int | None = None,
     sink=None,
     registry=None,
+    timeline=None,
+    monitor=None,
 ) -> ScenarioResult:
     """Simulate one scheme on one workload and return the measurements.
 
@@ -117,6 +119,13 @@ def run_scenario(
         registry: optional :class:`~repro.obs.registry.MetricsRegistry`;
             when given, the port and its components register their gauges
             and counters into it before the run starts.
+        timeline: optional :class:`~repro.obs.timeline.Timeline`; the
+            fabric wires occupancy probes and installs the sampler (the
+            caller keeps the reference and reads the filled series).
+        monitor: optional
+            :class:`~repro.obs.monitor.ConformanceMonitor`; armed with
+            the run's analytic bounds and finalized by the fabric (read
+            ``monitor.last_report`` afterwards).
     """
     # Imported lazily: the fabric imports ScenarioResult from this module.
     from repro.experiments.fabric import NetworkScenario, run_fabric
@@ -135,7 +144,9 @@ def run_scenario(
         delay_histograms=delay_histograms,
         max_events=max_events,
     )
-    return run_fabric(scenario, sink=sink, registry=registry).scenario_result
+    return run_fabric(
+        scenario, sink=sink, registry=registry, timeline=timeline, monitor=monitor
+    ).scenario_result
 
 
 @dataclass(frozen=True)

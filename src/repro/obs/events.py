@@ -27,6 +27,8 @@ __all__ = [
     "ReprovisionEvent",
     "PoolEvent",
     "HeapCompactEvent",
+    "SampleEvent",
+    "ViolationEvent",
     "event_to_dict",
     "event_from_dict",
 ]
@@ -43,7 +45,12 @@ __all__ = [
 #: changed or withdrawn at run time) and ``pool`` (a node's buffer-pool
 #: split changed), making the pool-consistency invariant (RPR206)
 #: auditable from a trace.
-TRACE_SCHEMA = "repro-trace-v3"
+#:
+#: v4: the telemetry/conformance layer adds ``sample`` (one periodic
+#: sim-time measurement mirrored from a :mod:`repro.obs.timeline`
+#: sampler) and ``violation`` (a :mod:`repro.obs.monitor` finding: an
+#: observed quantity exceeded its closed-form bound).
+TRACE_SCHEMA = "repro-trace-v4"
 
 
 @dataclass(frozen=True, slots=True)
@@ -176,6 +183,47 @@ class HeapCompactEvent:
     remaining: int
 
 
+@dataclass(frozen=True, slots=True)
+class SampleEvent:
+    """One periodic sim-time measurement of a named series.
+
+    Mirrored into the trace stream by a
+    :class:`~repro.obs.timeline.Timeline` sampler when a sink is
+    attached to it, so a single trace file can interleave packet events
+    with the coarser telemetry cadence.  ``series`` names the measured
+    quantity (e.g. ``occupancy``, ``pool.headroom``); ``node`` is the
+    link label ('' for single-port runs).
+    """
+
+    kind: ClassVar[str] = "sample"
+    time: float
+    series: str
+    value: float
+    node: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class ViolationEvent:
+    """A monitored quantity exceeded its closed-form bound.
+
+    Emitted by the :class:`~repro.obs.monitor.ConformanceMonitor` when
+    an observed value contradicts the paper's guarantees: a conformant
+    flow was dropped, a flow's occupancy exceeded its provisioned
+    threshold (eq. 5/9), or a delay exceeded the analytic bound.
+    ``check`` names the violated guarantee; ``observed``/``bound`` give
+    the numbers.  ``flow_id`` is ``-1`` for node-level findings.
+    """
+
+    kind: ClassVar[str] = "violation"
+    time: float
+    check: str
+    severity: str
+    observed: float
+    bound: float
+    flow_id: int = -1
+    node: str = ""
+
+
 #: kind tag -> event class, the vocabulary of a trace stream.
 EVENT_TYPES: dict[str, type] = {
     cls.kind: cls
@@ -188,6 +236,8 @@ EVENT_TYPES: dict[str, type] = {
         ReprovisionEvent,
         PoolEvent,
         HeapCompactEvent,
+        SampleEvent,
+        ViolationEvent,
     )
 }
 

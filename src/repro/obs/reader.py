@@ -70,14 +70,18 @@ def filter_events(
     events: Iterable,
     flows: Sequence[int] | None = None,
     kinds: Sequence[str] | None = None,
+    nodes: Sequence[str] | None = None,
     since: float | None = None,
     until: float | None = None,
 ) -> Iterator:
-    """Select events by flow id, kind tag, and time window.
+    """Select events by flow id, kind tag, node label, and time window.
 
     Events without a ``flow_id`` field (headroom, compact) are excluded
-    whenever a flow filter is given.  ``since``/``until`` bound
-    ``event.time`` inclusively on both ends.
+    whenever a flow filter is given; likewise events without a ``node``
+    field (compact) whenever a node filter is given.  Single-port runs
+    label their events with the empty string, so ``nodes=[""]`` selects
+    them explicitly.  ``since``/``until`` bound ``event.time``
+    inclusively on both ends.
     """
     if kinds is not None:
         unknown = set(kinds) - set(EVENT_TYPES)
@@ -87,10 +91,13 @@ def filter_events(
             )
         kind_set = frozenset(kinds)
     flow_set = None if flows is None else frozenset(flows)
+    node_set = None if nodes is None else frozenset(nodes)
     for event in events:
         if kinds is not None and type(event).kind not in kind_set:
             continue
         if flow_set is not None and getattr(event, "flow_id", None) not in flow_set:
+            continue
+        if node_set is not None and getattr(event, "node", None) not in node_set:
             continue
         time = event.time
         if since is not None and time < since:

@@ -27,7 +27,7 @@ from typing import Protocol, runtime_checkable
 from repro.errors import ConfigurationError
 from repro.obs.events import TRACE_SCHEMA, event_to_dict
 
-__all__ = ["TraceSink", "RingSink", "JsonlSink"]
+__all__ = ["TraceSink", "RingSink", "JsonlSink", "TeeSink"]
 
 
 @runtime_checkable
@@ -67,6 +67,32 @@ class RingSink:
 
     def clear(self) -> None:
         self._ring.clear()
+
+
+class TeeSink:
+    """Fan one event stream out to several sinks, in argument order.
+
+    Lets a live consumer (e.g. a
+    :class:`~repro.obs.monitor.ConformanceMonitor`) ride alongside a
+    recording sink on the same attachment point — components still see a
+    single sink and keep their one ``is not None`` guard.
+
+    Args:
+        *sinks: downstream sinks; at least one is required.
+    """
+
+    __slots__ = ("sinks", "emitted")
+
+    def __init__(self, *sinks) -> None:
+        if not sinks:
+            raise ConfigurationError("TeeSink needs at least one downstream sink")
+        self.sinks = tuple(sinks)
+        self.emitted = 0
+
+    def emit(self, event) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+        self.emitted += 1
 
 
 class JsonlSink:

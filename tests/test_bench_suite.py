@@ -44,6 +44,7 @@ class TestSuiteDefinition:
             "onoff-batched",
             "churn",
             "churn-reclaim",
+            "timeline-sampled",
         }
 
     def test_quick_and_full_have_different_digests(self):

@@ -182,3 +182,56 @@ class TestPreflight:
     def test_single_port_jobs_skip_preflight(self):
         [record] = CampaignRunner(preflight=True).run([sweep_jobs()[0]])
         assert record.events_processed > 0
+
+
+class TestMonitoredJobs:
+    """``REPRO_MONITOR`` attaches per-job observability to every record."""
+
+    def test_monitor_off_by_default(self):
+        record = execute_job(sweep_jobs()[0])
+        assert record.timeline_summary is None
+        assert record.monitor is None
+
+    def test_monitor_env_attaches_timeline_and_report(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MONITOR", "1")
+        record = execute_job(sweep_jobs()[0])
+        assert record.timeline_summary is not None
+        assert record.timeline_summary.ticks > 0
+        assert record.monitor is not None
+        assert record.monitor.events_seen > 0
+
+    def test_falsey_env_values_stay_off(self, monkeypatch):
+        for value in ("", "0", "false", "no"):
+            monkeypatch.setenv("REPRO_MONITOR", value)
+            record = execute_job(sweep_jobs()[0])
+            assert record.timeline_summary is None
+
+    def test_obs_fields_excluded_from_dict_and_equality(self, monkeypatch):
+        job = sweep_jobs()[0]
+        plain = execute_job(job)
+        monkeypatch.setenv("REPRO_MONITOR", "1")
+        monitored = execute_job(job)
+        # The attachments never appear in the serialized record, and the
+        # measurements are untouched — the only trace of monitoring is
+        # the sampler/sweep events in the engine's event counter.
+        monitored_dict = monitored.to_dict()
+        plain_dict = plain.to_dict()
+        assert "timeline_summary" not in monitored_dict
+        assert "monitor" not in monitored_dict
+        assert monitored_dict.pop("events_processed") > plain_dict.pop(
+            "events_processed"
+        )
+        assert monitored_dict == plain_dict
+
+    def test_monitored_network_job_reports_conformance(self, monkeypatch):
+        from repro.experiments.campaign.network import NetworkJob
+        from repro.experiments.fabric.demo import demo_tandem
+
+        monkeypatch.setenv("REPRO_MONITOR", "1")
+        scenario = demo_tandem(
+            hops=2, sim_time=0.5, churn=False, delay_histograms=False
+        )
+        record = execute_job(NetworkJob(scenario=scenario))
+        assert record.monitor is not None
+        assert record.monitor.ok, record.monitor.render()
+        assert record.timeline_summary.series

@@ -12,6 +12,7 @@ from repro.check.artifacts import (
 )
 from repro.obs.events import TRACE_SCHEMA
 from repro.obs.telemetry import TELEMETRY_SCHEMA
+from repro.obs.timeline import TIMELINE_SCHEMA, Timeline
 
 BASELINE = pathlib.Path("benchmarks/baselines/BENCH_ci-reference.json")
 GOLDENS = pathlib.Path("tests/data/equivalence_goldens.json")
@@ -126,3 +127,27 @@ class TestJsonlArtifacts:
 
     def test_bench_tag_constant_matches_registry(self):
         assert KNOWN_SCHEMAS["repro-bench"] == BENCH_SCHEMA
+
+    def test_timeline_tag_constant_matches_registry(self):
+        assert KNOWN_SCHEMAS["repro-timeline"] == TIMELINE_SCHEMA
+
+    def test_written_timeline_export_is_clean(self, tmp_path):
+        timeline = Timeline(interval=0.5)
+        box = {"v": 0.0}
+        timeline.probe("occupancy", lambda: box["v"])
+        timeline.sample_now(0.5)
+        timeline.sample_now(1.0)
+        target = tmp_path / "timeline.jsonl"
+        timeline.write_jsonl(target)
+        assert check_artifact_file(target) == []
+
+    def test_stale_timeline_header_is_drift(self, tmp_path):
+        target = tmp_path / "timeline.jsonl"
+        target.write_text(
+            json.dumps({"kind": "header", "schema": "repro-timeline-v0"}) + "\n",
+            encoding="utf-8",
+        )
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "drift" in findings[0].message
+        assert TIMELINE_SCHEMA in findings[0].message

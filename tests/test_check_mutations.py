@@ -15,6 +15,7 @@ import textwrap
 
 from repro.check.cli import check_paths, failing
 from repro.check.invariants import check_scenario, check_scenario_dict
+from repro.obs.events import TRACE_SCHEMA
 from repro.experiments.fabric.demo import demo_tandem
 from repro.lint import lint_paths
 
@@ -80,7 +81,7 @@ class TestInvariantMutations:
 
     def test_leaky_pool_trace_raises_rpr206(self, tmp_path):
         target = tmp_path / "trace.jsonl"
-        header = {"schema": "repro-trace-v3"}
+        header = {"schema": TRACE_SCHEMA}
         leaky = {
             "kind": "pool",
             "time": 1.0,

@@ -226,4 +226,106 @@ class TestObsCommands:
 
     def test_unknown_action_rejected(self, capsys):
         assert main(["obs", "flush"]) == 2
-        assert "unknown obs action" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown obs action" in err
+        assert "timeline" in err and "monitor" in err
+
+    def fabric_trace(self, tmp_path):
+        """A short multi-hop trace with per-node event labels."""
+        from repro.experiments.fabric import run_fabric
+        from repro.experiments.fabric.demo import demo_tandem
+        from repro.obs import JsonlSink
+
+        path = tmp_path / "net-trace.jsonl"
+        scenario = demo_tandem(
+            hops=2, seed=0, sim_time=1.0, churn=False, delay_histograms=False
+        )
+        with JsonlSink(path) as sink:
+            run_fabric(scenario, sink=sink)
+        return path
+
+    def test_trace_filters_by_node(self, tmp_path, capsys):
+        import json
+
+        trace = self.fabric_trace(tmp_path)
+        argv = ["obs", "trace", "--input", str(trace), "--node", "n0->n1"]
+        assert main(argv) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines, "first hop must carry traffic"
+        assert {json.loads(line)["node"] for line in lines} == {"n0->n1"}
+
+    def test_trace_kind_merges_with_type(self, tmp_path, capsys):
+        import json
+
+        trace = self.fabric_trace(tmp_path)
+        argv = [
+            "obs", "trace", "--input", str(trace),
+            "--type", "enqueue", "--kind", "depart",
+        ]
+        assert main(argv) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert kinds == {"enqueue", "depart"}
+
+
+class TestObsTimelineCommands:
+    def test_timeline_renders_series(self, capsys):
+        argv = ["obs", "timeline", "--hops", "1", "--no-churn", "--interval", "0.5"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # One hop, no churn: the single-port fast path, unlabelled series.
+        assert "timeline: 1-hop tandem" in out
+        assert "occupancy" in out
+        assert "backlog_packets" in out
+
+    def test_timeline_json_summary(self, capsys):
+        import json
+
+        from repro.obs.timeline import TIMELINE_SCHEMA
+
+        argv = [
+            "obs", "timeline", "--hops", "1", "--no-churn",
+            "--interval", "0.5", "--json",
+        ]
+        assert main(argv) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema"] == TIMELINE_SCHEMA
+        assert summary["ticks"] > 0
+        assert "occupancy" in summary["series"]
+
+    def test_timeline_rejects_bad_arguments(self, capsys):
+        assert main(["obs", "timeline", "--hops", "0"]) == 2
+        assert main(["obs", "timeline", "--interval", "0"]) == 2
+        capsys.readouterr()
+
+    def test_monitor_conformant_run_exits_zero(self, tmp_path, capsys):
+        out_path = tmp_path / "timeline.jsonl"
+        argv = [
+            "obs", "monitor", "--hops", "1", "--no-churn",
+            "--timeline-out", str(out_path),
+        ]
+        assert main(argv) == 0
+        assert "conformance: OK" in capsys.readouterr().out
+        from repro.obs.timeline import read_timeline
+
+        header, samples = read_timeline(out_path)
+        assert samples
+
+    def test_monitor_undersized_run_exits_one(self, capsys):
+        import json
+
+        argv = ["obs", "monitor", "--hops", "1", "--undersized", "--json"]
+        assert main(argv) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert any(
+            v["check"] == "conformant-drop" for v in report["violations"]
+        )
+
+
+class TestNetCommands:
+    def test_demo_attributes_churn_blocking(self, capsys):
+        assert main(["net", "demo", "--hops", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "buffer-limited" in out
+        assert "unattributed" in out

@@ -12,7 +12,9 @@ from repro.obs.events import (
     HeapCompactEvent,
     PoolEvent,
     ReprovisionEvent,
+    SampleEvent,
     ThresholdCrossEvent,
+    ViolationEvent,
     event_from_dict,
     event_to_dict,
 )
@@ -41,6 +43,16 @@ SAMPLES = [
         flows=2,
         node="n1",
     ),
+    SampleEvent(time=9.0, series="occupancy", value=4500.0, node="n1"),
+    ViolationEvent(
+        time=9.5,
+        check="hop-delay",
+        severity="error",
+        observed=0.03,
+        bound=0.02,
+        flow_id=3,
+        node="n1",
+    ),
 ]
 
 
@@ -55,6 +67,8 @@ class TestVocabulary:
             "compact",
             "reprovision",
             "pool",
+            "sample",
+            "violation",
         }
 
     def test_kind_tags_match_classes(self):

@@ -189,3 +189,43 @@ class TestFilters:
         _flows, path, _result = traced_run(tmp_path, Scheme.FIFO_SHARING, 12_000.0)
         selected = list(filter_events(read_events(path), flows=[0]))
         assert all(type(event).kind != "headroom" for event in selected)
+
+    def fabric_events(self, tmp_path):
+        from repro.experiments.fabric import run_fabric
+        from repro.experiments.fabric.demo import demo_tandem
+        from repro.obs import JsonlSink
+
+        path = tmp_path / "net-trace.jsonl"
+        scenario = demo_tandem(
+            hops=2, seed=0, sim_time=1.0, churn=False, delay_histograms=False
+        )
+        with JsonlSink(path) as sink:
+            run_fabric(scenario, sink=sink)
+        return list(read_events(path))
+
+    def test_filter_by_node(self, tmp_path):
+        events = self.fabric_events(tmp_path)
+        selected = list(filter_events(events, nodes=["n0->n1"]))
+        assert selected
+        assert all(event.node == "n0->n1" for event in selected)
+        assert len(selected) < len(events)
+
+    def test_node_filter_composes_with_kind(self, tmp_path):
+        events = self.fabric_events(tmp_path)
+        selected = list(
+            filter_events(events, nodes=["n1->n2"], kinds=["enqueue"])
+        )
+        assert selected
+        assert all(
+            type(e).kind == "enqueue" and e.node == "n1->n2" for e in selected
+        )
+
+    def test_blank_node_selects_single_port_events(self, tmp_path):
+        events = self.events(tmp_path)
+        selected = list(filter_events(events, nodes=[""]))
+        # Single-port runs label everything with the empty string —
+        # except engine compact events, which carry no node at all.
+        assert selected
+        assert all(type(event).kind != "compact" for event in selected)
+        labelled = [e for e in events if hasattr(e, "node")]
+        assert len(selected) == len(labelled)
