@@ -9,8 +9,13 @@ Usage::
     python -m repro all --workers 4 --cache-dir results/cache
 
     python -m repro campaign run --spec spec.json --workers 4
-    python -m repro campaign status     # cache location, entries, size
+    python -m repro campaign status     # cache, entries, queue state
     python -m repro campaign clear-cache
+
+    python -m repro campaign sweep run --spec sweep.json --cache-dir d
+    python -m repro campaign sweep run --spec sweep.json --owner w2 --wait
+    python -m repro campaign sweep status --spec sweep.json --cache-dir d
+    python -m repro campaign sweep aggregate --spec sweep.json --out agg.json
 
     python -m repro obs trace --spec spec.json --trace-out trace.jsonl
     python -m repro obs trace --input trace.jsonl --flow 3 --type drop
@@ -70,14 +75,41 @@ def build_parser() -> argparse.ArgumentParser:
         "action",
         nargs="?",
         default=None,
-        help="campaign action (run, status, clear-cache), obs action "
+        help="campaign action (run, status, clear-cache, sweep), obs action "
         "(trace, report, timeline, monitor), or net action (demo, reclaim)",
+    )
+    parser.add_argument(
+        "subaction",
+        nargs="?",
+        default=None,
+        help="sweep verb for 'campaign sweep' (run, status, aggregate)",
     )
     parser.add_argument(
         "--spec",
         type=pathlib.Path,
         default=None,
-        help="JSON scenario spec file (used with 'run' and 'campaign run')",
+        help="JSON scenario spec file (used with 'run' and 'campaign run') "
+        "or sweep spec file ('campaign sweep ...')",
+    )
+    parser.add_argument(
+        "--owner",
+        default=None,
+        help="worker id for 'campaign sweep run' claims and shards "
+        "(default: <hostname>-<pid>; must be unique per worker)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        help="seconds after which a silent claim counts as orphaned and "
+        "is reaped ('campaign sweep run/status', 'campaign status'; "
+        "default 60)",
+    )
+    parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="'campaign sweep run': keep polling until every cell is "
+        "complete instead of exiting when only peer-claimed cells remain",
     )
     parser.add_argument(
         "--full",
@@ -88,7 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         type=pathlib.Path,
         default=None,
-        help="directory to archive rendered figures into",
+        help="directory to archive rendered figures into; for 'campaign "
+        "sweep aggregate', the aggregate file path (default: "
+        "<cache>/aggregates/<sweep-digest>.json)",
     )
     parser.add_argument(
         "--workers",
@@ -298,9 +332,90 @@ def _telemetry_dir(args: argparse.Namespace) -> pathlib.Path:
     return args.telemetry_dir if args.telemetry_dir is not None else DEFAULT_TELEMETRY_DIR
 
 
+def _heartbeat_timeout(args: argparse.Namespace) -> float:
+    from repro.experiments.sweep import DEFAULT_HEARTBEAT_TIMEOUT
+
+    if args.heartbeat_timeout is None:
+        return DEFAULT_HEARTBEAT_TIMEOUT
+    return args.heartbeat_timeout
+
+
+def run_campaign_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import (
+        aggregate_sweep,
+        default_aggregate_path,
+        load_sweep,
+        run_sweep_worker,
+        sweep_status,
+        write_aggregate,
+    )
+
+    if args.subaction not in ("run", "status", "aggregate"):
+        print(
+            f"unknown sweep verb {args.subaction!r}; use run, status, "
+            "or aggregate",
+            file=sys.stderr,
+        )
+        return 2
+    if args.spec is None:
+        print(
+            f"'campaign sweep {args.subaction}' requires --spec <sweep.json>",
+            file=sys.stderr,
+        )
+        return 2
+    spec = load_sweep(args.spec)
+    cache = _campaign_cache(args)
+    timeout = _heartbeat_timeout(args)
+
+    if args.subaction == "run":
+        summary = run_sweep_worker(
+            spec,
+            cache,
+            owner=args.owner,
+            heartbeat_timeout=timeout,
+            wait=args.wait,
+            preflight=True,
+            telemetry_dir=_telemetry_dir(args),
+        )
+        status = sweep_status(spec, cache, heartbeat_timeout=timeout)
+        print(f"sweep           : {spec.name} ({spec.digest()[:16]})")
+        print(f"worker          : {summary.owner}")
+        print(f"executed        : {summary.executed}")
+        print(f"reaped claims   : {summary.reaped}")
+        print(f"passes          : {summary.passes}")
+        print(f"cells           : {status.cells}")
+        print(f"completed       : {status.completed}")
+        print(f"outstanding     : {summary.outstanding}")
+        return 0 if status.complete else 1
+    if args.subaction == "status":
+        status = sweep_status(spec, cache, heartbeat_timeout=timeout)
+        print(f"sweep           : {spec.name} ({spec.digest()[:16]})")
+        print(f"cache directory : {cache.root}")
+        print(f"cells           : {status.cells}")
+        print(f"completed       : {status.completed}")
+        print(f"claimed         : {status.claimed}")
+        print(f"orphaned claims : {status.orphaned}")
+        print(f"pending         : {status.pending}")
+        return 0 if status.complete else 1
+    aggregate = aggregate_sweep(spec, cache)
+    out = (
+        args.out
+        if args.out is not None
+        else default_aggregate_path(cache.root, spec)
+    )
+    path = write_aggregate(aggregate, out)
+    print(f"sweep           : {spec.name} ({spec.digest()[:16]})")
+    print(f"cells           : {aggregate['cells']}")
+    print(f"groups          : {len(aggregate['groups'])}")
+    print(f"aggregate       : {path}")
+    return 0
+
+
 def run_campaign(args: argparse.Namespace) -> int:
     from repro import units
 
+    if args.action == "sweep":
+        return run_campaign_sweep(args)
     if args.action == "run":
         if args.spec is None:
             print("'campaign run' requires --spec <file.json>", file=sys.stderr)
@@ -314,14 +429,19 @@ def run_campaign(args: argparse.Namespace) -> int:
         run_spec_file(args.spec, runner=runner)
         return 0
     if args.action == "status":
+        from repro.experiments.sweep import scan_queue
+
         cache = _campaign_cache(args)
         entries = cache.entries()
         stats = cache.persisted_stats()
+        queue = scan_queue(cache.root, _heartbeat_timeout(args))
         print(f"cache directory : {cache.root}")
         print(f"schema tag      : {CAMPAIGN_SCHEMA}")
         print(f"entries         : {len(entries)}")
         print(f"size            : {units.to_mbytes(cache.size_bytes()):.3f} MB")
         print(f"cached bytes    : {cache.size_bytes()}")
+        print(f"claimed         : {queue.claimed}")
+        print(f"orphaned claims : {queue.orphaned}")
         print(f"lifetime hits   : {stats['hits']}")
         print(f"lifetime misses : {stats['misses']}")
         print(f"lifetime stores : {stats['stores']}")
@@ -332,7 +452,8 @@ def run_campaign(args: argparse.Namespace) -> int:
         print(f"removed {removed} cached result(s) from {cache.root}")
         return 0
     print(
-        f"unknown campaign action {args.action!r}; use run, status, or clear-cache",
+        f"unknown campaign action {args.action!r}; use run, status, "
+        "clear-cache, or sweep",
         file=sys.stderr,
     )
     return 2

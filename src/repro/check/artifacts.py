@@ -17,7 +17,16 @@ CI at the lint gate rather than deep inside a campaign:
 * JSONL telemetry files — :data:`repro.obs.telemetry.TELEMETRY_SCHEMA`
   per line;
 * JSONL timeline exports — the :data:`repro.obs.timeline.TIMELINE_SCHEMA`
-  header written by :meth:`repro.obs.timeline.Timeline.write_jsonl`.
+  header written by :meth:`repro.obs.timeline.Timeline.write_jsonl`;
+* sweep specs / worker shards / aggregates — the
+  :mod:`repro.experiments.sweep` family
+  (``repro-sweep-spec-v1`` round-trips through the DSL loader,
+  ``repro-sweep-shard-v1`` is checked per line, and a
+  ``repro-sweep-v1`` aggregate must carry the digest of its embedded
+  spec);
+* work-queue claim files (``<digest>.claim``) — the
+  :data:`repro.experiments.sweep.queue.CLAIM_SCHEMA` payload, whose
+  ``digest`` field must match the file name.
 
 Tags are matched by family (the part before the ``-v<N>`` suffix), so a
 stale ``repro-bench-v0`` is reported as *drift* against the current
@@ -33,6 +42,9 @@ from repro.bench.baseline import BENCH_SCHEMA, BenchBaseline
 from repro.errors import ConfigurationError
 from repro.experiments.campaign.job import CAMPAIGN_SCHEMA
 from repro.experiments.campaign.network import NETWORK_SCHEMA
+from repro.experiments.sweep.aggregate import AGGREGATE_SCHEMA, SHARD_SCHEMA
+from repro.experiments.sweep.queue import CLAIM_SCHEMA
+from repro.experiments.sweep.spec import SWEEP_SPEC_SCHEMA, SweepSpec
 from repro.lint.findings import Finding
 from repro.obs.events import TRACE_SCHEMA
 from repro.obs.telemetry import TELEMETRY_SCHEMA
@@ -52,7 +64,15 @@ KNOWN_SCHEMAS: dict[str, str] = {
     "repro-trace": TRACE_SCHEMA,
     "repro-telemetry": TELEMETRY_SCHEMA,
     "repro-timeline": TIMELINE_SCHEMA,
+    "repro-sweep": AGGREGATE_SCHEMA,
+    "repro-sweep-spec": SWEEP_SPEC_SCHEMA,
+    "repro-sweep-shard": SHARD_SCHEMA,
+    "repro-claim": CLAIM_SCHEMA,
 }
+
+#: JSONL families whose every line carries (and must agree on) the tag;
+#: other JSONL artifacts only tag their header line.
+_PER_LINE_FAMILIES = frozenset({"repro-telemetry", "repro-sweep-shard"})
 
 
 def schema_family(tag: str) -> str:
@@ -110,6 +130,52 @@ def _check_bench_baseline(path: pathlib.Path) -> list[Finding]:
     return []
 
 
+def _check_sweep_spec(path: pathlib.Path, raw: dict) -> list[Finding]:
+    """A committed sweep spec must round-trip through the DSL loader."""
+    try:
+        SweepSpec.from_dict(raw)
+    except ConfigurationError as exc:
+        return [Finding("RPR205", f"sweep spec rejected: {exc}", str(path), 1)]
+    return []
+
+
+def _check_sweep_aggregate(path: pathlib.Path, raw: dict) -> list[Finding]:
+    """An aggregate must carry a valid spec whose digest it is keyed by."""
+    embedded = raw.get("sweep")
+    if not isinstance(embedded, dict):
+        return [
+            Finding(
+                "RPR205",
+                "sweep aggregate lacks its embedded sweep spec object",
+                str(path),
+                1,
+            )
+        ]
+    try:
+        spec = SweepSpec.from_dict(embedded)
+    except ConfigurationError as exc:
+        return [
+            Finding(
+                "RPR205",
+                f"sweep aggregate embeds an invalid spec: {exc}",
+                str(path),
+                1,
+            )
+        ]
+    declared = raw.get("sweep_digest")
+    if declared != spec.digest():
+        return [
+            Finding(
+                "RPR205",
+                f"sweep aggregate digest mismatch: declares {declared!r} "
+                f"but the embedded spec hashes to {spec.digest()!r}",
+                str(path),
+                1,
+            )
+        ]
+    return []
+
+
 def _check_json_artifact(path: pathlib.Path, raw: dict) -> list[Finding]:
     tag = raw.get("schema")
     findings = _check_tag(tag, str(path))
@@ -117,6 +183,10 @@ def _check_json_artifact(path: pathlib.Path, raw: dict) -> list[Finding]:
         return findings
     if tag == BENCH_SCHEMA:
         findings.extend(_check_bench_baseline(path))
+    elif tag == SWEEP_SPEC_SCHEMA:
+        findings.extend(_check_sweep_spec(path, raw))
+    elif tag == AGGREGATE_SCHEMA:
+        findings.extend(_check_sweep_aggregate(path, raw))
     return findings
 
 
@@ -161,7 +231,7 @@ def _check_jsonl_artifact(path: pathlib.Path, text: str) -> list[Finding]:
                 # in them are auditable for conservation (RPR206).
                 findings.extend(_check_trace_pool_lines(path, text, number))
                 break
-            if schema_family(first_tag) != "repro-telemetry":
+            if schema_family(first_tag) not in _PER_LINE_FAMILIES:
                 break  # other artifacts only tag the header line
         elif tag is not None and tag != first_tag:
             findings.append(
@@ -262,17 +332,48 @@ def _check_trace_pool_lines(
     return findings
 
 
+def _check_claim_artifact(path: pathlib.Path, text: str) -> list[Finding]:
+    """A live claim file: current schema, digest matching the file name."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [Finding("RPR205", f"not valid JSON: {exc}", str(path), 1)]
+    if not isinstance(raw, dict):
+        return [
+            Finding("RPR205", "claim file is not a JSON object", str(path), 1)
+        ]
+    findings = _check_tag(raw.get("schema"), str(path))
+    if findings:
+        return findings
+    declared = raw.get("digest")
+    expected = path.name[: -len(".claim")]
+    if declared != expected:
+        findings.append(
+            Finding(
+                "RPR205",
+                f"claim digest mismatch: file is named {expected[:16]}... "
+                f"but the payload claims {str(declared)[:16]}...",
+                str(path),
+                1,
+            )
+        )
+    return findings
+
+
 def check_artifact_file(path: str | pathlib.Path) -> list[Finding]:
     """Audit one artifact file; [] when its schema tags are current.
 
-    ``.jsonl`` files are treated as trace/telemetry streams; ``.json``
-    files must be objects carrying a top-level ``schema`` tag.
+    ``.jsonl`` files are treated as trace/telemetry/shard streams,
+    ``.claim`` files as work-queue claims; ``.json`` files must be
+    objects carrying a top-level ``schema`` tag.
     """
     file_path = pathlib.Path(path)
     try:
         text = file_path.read_text(encoding="utf-8")
     except OSError as exc:
         return [Finding("RPR205", f"cannot read artifact: {exc}", str(path), 1)]
+    if file_path.suffix == ".claim":
+        return _check_claim_artifact(file_path, text)
     if file_path.suffix == ".jsonl":
         return _check_jsonl_artifact(file_path, text)
     try:

@@ -9,7 +9,8 @@ Usage::
 
 Target classification:
 
-* ``*.jsonl`` files are trace/telemetry artifacts;
+* ``*.jsonl`` files are trace/telemetry/shard artifacts;
+* ``*.claim`` files are work-queue claims;
 * ``*.json`` objects with a ``schema`` tag are artifacts;
 * ``*.json`` objects/lists shaped like specs (a ``name`` plus a
   ``scheme`` or ``network`` key) are audited as scenario specs;
@@ -69,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         help="spec/artifact files or directories (directories recurse "
-        "into *.json and *.jsonl)",
+        "into *.json, *.jsonl, and *.claim)",
     )
     parser.add_argument(
         "--format",
@@ -99,8 +100,8 @@ def _list_invariants() -> str:
 
 
 def _classify(path: pathlib.Path) -> str:
-    """'artifact', 'spec', or 'unknown' for one JSON/JSONL file."""
-    if path.suffix == ".jsonl":
+    """'artifact', 'spec', or 'unknown' for one JSON/JSONL/claim file."""
+    if path.suffix in (".jsonl", ".claim"):
         return "artifact"
     try:
         raw = json.loads(path.read_text(encoding="utf-8"))
@@ -131,7 +132,7 @@ def _discover(paths: Sequence[str]) -> list[tuple[pathlib.Path, bool]]:
     for raw in paths:
         path = pathlib.Path(raw)
         if path.is_dir():
-            for pattern in ("*.json", "*.jsonl"):
+            for pattern in ("*.json", "*.jsonl", "*.claim"):
                 for found in sorted(path.rglob(pattern)):
                     targets.setdefault(found, False)
         elif path.is_file():

@@ -40,6 +40,8 @@ def demo_tandem(
     churn: bool = True,
     reclamation: bool = False,
     delay_histograms: bool = True,
+    arrival_rate: float = 6.0,
+    mean_holding: float = 4.0,
 ) -> NetworkScenario:
     """The reference ``hops``-hop tandem scenario.
 
@@ -53,6 +55,11 @@ def demo_tandem(
             ``churn=True`` to have any effect.
         delay_histograms: record per-hop and end-to-end delay
             histograms (the CLI prints end-to-end percentiles).
+        arrival_rate: Poisson arrival rate of the churn population in
+            flows per simulated second (ignored without ``churn``); the
+            sweep DSL uses it as its churn-load axis.
+        mean_holding: mean exponential holding time of accepted dynamic
+            flows, simulated seconds (ignored without ``churn``).
     """
     link_rate = mbps(48.0)
     buffer_size = mbytes(1.0)
@@ -99,8 +106,8 @@ def demo_tandem(
     churn_spec = None
     if churn:
         churn_spec = ChurnSpec(
-            arrival_rate=6.0,
-            mean_holding=4.0,
+            arrival_rate=arrival_rate,
+            mean_holding=mean_holding,
             templates=(
                 FlowSpec(
                     flow_id=0,

@@ -73,11 +73,19 @@ __all__ = [
     "run_network_spec",
     "jobs_for_spec",
     "load_specs",
+    "parse_metric",
+    "WORKLOADS",
+    "DEFAULT_GROUPS",
+    "CONFORMANT_SETS",
 ]
 
-_WORKLOADS = {"table1": table1_flows, "table2": table2_flows}
-_DEFAULT_GROUPS = {"table1": CASE1_GROUPS, "table2": CASE2_GROUPS}
-_CONFORMANT_SETS = {"table1": TABLE1_CONFORMANT, "table2": TABLE2_CONFORMANT}
+#: Named workload registry shared with the sweep DSL
+#: (:mod:`repro.experiments.sweep`): name -> flow-population factory.
+WORKLOADS = {"table1": table1_flows, "table2": table2_flows}
+#: Default hybrid grouping per named workload.
+DEFAULT_GROUPS = {"table1": CASE1_GROUPS, "table2": CASE2_GROUPS}
+#: Conformant flow-id partition per named workload.
+CONFORMANT_SETS = {"table1": TABLE1_CONFORMANT, "table2": TABLE2_CONFORMANT}
 
 
 @dataclass(frozen=True)
@@ -116,13 +124,13 @@ class ScenarioSpec:
         workload = raw.get("workload", "table1")
         conformant_ids: tuple[int, ...]
         if isinstance(workload, str):
-            if workload not in _WORKLOADS:
+            if workload not in WORKLOADS:
                 raise ConfigurationError(
-                    f"unknown workload {workload!r}; valid: {sorted(_WORKLOADS)}"
+                    f"unknown workload {workload!r}; valid: {sorted(WORKLOADS)}"
                 )
-            flows = tuple(_WORKLOADS[workload]())
-            conformant_ids = tuple(_CONFORMANT_SETS[workload])
-            default_groups = _DEFAULT_GROUPS[workload]
+            flows = tuple(WORKLOADS[workload]())
+            conformant_ids = tuple(CONFORMANT_SETS[workload])
+            default_groups = DEFAULT_GROUPS[workload]
         else:
             flows = tuple(
                 _flow_from_dict(index, entry) for index, entry in enumerate(workload)
@@ -142,7 +150,7 @@ class ScenarioSpec:
 
         metrics = tuple(str(m) for m in raw.get("metrics", ("utilization",)))
         for metric in metrics:
-            _parse_metric(metric, conformant_ids)  # validate early
+            parse_metric(metric, conformant_ids)  # validate early
 
         seeds = tuple(int(s) for s in raw.get("seeds", (1,)))
         if not seeds:
@@ -246,8 +254,13 @@ def _flow_from_dict(index: int, raw: dict) -> FlowSpec:
     )
 
 
-def _parse_metric(metric: str, conformant_ids: Sequence[int]):
-    """Turn a metric string into (label, extractor)."""
+def parse_metric(metric: str, conformant_ids: Sequence[int]):
+    """Turn a metric string into (label, extractor).
+
+    Shared by declarative specs and the sweep DSL: ``utilization``,
+    ``loss[:conformant|:ids|:all]`` and ``throughput[:...]`` map to
+    callables over a record's measurement API.
+    """
     kind, _, argument = metric.partition(":")
     if kind == "utilization":
         return metric, lambda result: 100.0 * result.utilization()
@@ -299,7 +312,7 @@ def run_spec(
     """
     if runner is None:
         runner = CampaignRunner()
-    extractors = [_parse_metric(metric, spec.conformant_ids) for metric in spec.metrics]
+    extractors = [parse_metric(metric, spec.conformant_ids) for metric in spec.metrics]
     samples: dict[str, list[float]] = {metric: [] for metric in spec.metrics}
     for record in runner.run(jobs_for_spec(spec)):
         for label, extractor in extractors:

@@ -1,0 +1,87 @@
+"""Distributed, resumable sweep campaigns.
+
+The scale-out layer over :mod:`repro.experiments.campaign`: a frozen,
+JSON-round-trippable :class:`~repro.experiments.sweep.spec.SweepSpec`
+expands cartesian parameter grids lazily into content-addressed jobs; a
+serverless work queue (:mod:`~repro.experiments.sweep.queue`) shards one
+grid across N worker processes on N hosts using only atomic claim files
+in the shared cache directory; streaming aggregation
+(:mod:`~repro.experiments.sweep.aggregate`) folds the results into one
+deterministic ``repro-sweep-v1`` artifact, byte-identical however the
+work was sharded, killed, or resumed.
+
+CLI surface: ``repro campaign sweep run | status | aggregate``; see
+``docs/campaigns.md`` for the multi-host story.
+"""
+
+from repro.experiments.sweep.aggregate import (
+    AGGREGATE_SCHEMA,
+    SHARD_SCHEMA,
+    aggregate_sweep,
+    append_shard_row,
+    default_aggregate_path,
+    metric_row,
+    read_shard_index,
+    shard_dir,
+    shard_path,
+    write_aggregate,
+)
+from repro.experiments.sweep.queue import (
+    CLAIM_SCHEMA,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    ClaimInfo,
+    QueueState,
+    SweepStatus,
+    WorkerSummary,
+    claim_path,
+    default_owner,
+    read_claim,
+    reap_stale_claims,
+    release_claim,
+    run_sweep_worker,
+    scan_claims,
+    scan_queue,
+    sweep_status,
+    try_claim,
+)
+from repro.experiments.sweep.spec import (
+    SWEEP_SPEC_SCHEMA,
+    SweepAxis,
+    SweepConstraint,
+    SweepSpec,
+    load_sweep,
+)
+
+__all__ = [
+    "AGGREGATE_SCHEMA",
+    "CLAIM_SCHEMA",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "SHARD_SCHEMA",
+    "SWEEP_SPEC_SCHEMA",
+    "ClaimInfo",
+    "QueueState",
+    "SweepAxis",
+    "SweepConstraint",
+    "SweepSpec",
+    "SweepStatus",
+    "WorkerSummary",
+    "aggregate_sweep",
+    "append_shard_row",
+    "claim_path",
+    "default_aggregate_path",
+    "default_owner",
+    "load_sweep",
+    "metric_row",
+    "read_claim",
+    "read_shard_index",
+    "reap_stale_claims",
+    "release_claim",
+    "run_sweep_worker",
+    "scan_claims",
+    "scan_queue",
+    "shard_dir",
+    "shard_path",
+    "sweep_status",
+    "try_claim",
+    "write_aggregate",
+]

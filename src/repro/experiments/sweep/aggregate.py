@@ -1,0 +1,288 @@
+"""Streaming aggregation: record shards -> one deterministic aggregate.
+
+Workers append one small JSONL *shard row* per executed cell — digest,
+cell parameters, extracted metric values — to a worker-local file under
+``<cache>/shards/``.  Aggregation streams those rows into a digest
+index, then walks the sweep's cells **in expansion order**, pulling each
+cell's metric row from the index (or, for cells another campaign already
+cached, from the result cache one record at a time).  Per-cell groups
+(the cell minus its ``seed``) fold into mean +/- CI via the existing
+:func:`repro.metrics.stats.mean_ci` machinery.
+
+Determinism is the point: the walk order is the spec's expansion order
+and every metric value is a pure function of a content-addressed record,
+so the written :data:`AGGREGATE_SCHEMA` file is byte-identical no matter
+how many workers ran, which of them died mid-sweep, or whether the run
+was a warm cache replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign.cache import ResultCache
+from repro.experiments.sweep.spec import SweepSpec
+from repro.experiments.spec import CONFORMANT_SETS, parse_metric
+from repro.metrics.stats import mean_ci
+
+__all__ = [
+    "AGGREGATE_SCHEMA",
+    "SHARD_SCHEMA",
+    "aggregate_sweep",
+    "append_shard_row",
+    "default_aggregate_path",
+    "metric_row",
+    "read_shard_index",
+    "shard_dir",
+    "shard_path",
+    "write_aggregate",
+]
+
+#: Version tag on the final aggregate artifact.
+AGGREGATE_SCHEMA = "repro-sweep-v1"
+
+#: Version tag on every worker shard row.
+SHARD_SCHEMA = "repro-sweep-shard-v1"
+
+#: Subdirectory of the cache root holding worker shards.  Kept out of
+#: the root so :meth:`ResultCache.entries`'s ``*.json`` glob and the
+#: claim files never see them.
+_SHARD_DIR_NAME = "shards"
+_AGGREGATE_DIR_NAME = "aggregates"
+
+
+def shard_dir(cache_root: str | os.PathLike) -> pathlib.Path:
+    """Where a cache directory keeps its sweep shards."""
+    return pathlib.Path(cache_root) / _SHARD_DIR_NAME
+
+
+def shard_path(
+    cache_root: str | os.PathLike, sweep_digest: str, owner: str
+) -> pathlib.Path:
+    """One worker's shard file for one sweep."""
+    safe_owner = "".join(
+        ch if ch.isalnum() or ch in "-_." else "-" for ch in owner
+    )
+    return shard_dir(cache_root) / f"{sweep_digest[:16]}-{safe_owner}.jsonl"
+
+
+def default_aggregate_path(
+    cache_root: str | os.PathLike, spec: SweepSpec
+) -> pathlib.Path:
+    """Digest-keyed default location of a sweep's aggregate."""
+    return (
+        pathlib.Path(cache_root)
+        / _AGGREGATE_DIR_NAME
+        / f"{spec.digest()}.json"
+    )
+
+
+# -- metric extraction ----------------------------------------------------
+
+#: Fixed extractors for ``"network"`` sweeps; scenario sweeps go through
+#: :func:`repro.experiments.spec.parse_metric` instead.
+_NETWORK_EXTRACTORS = {
+    "delivered": lambda record: float(sum(record.delivery_packets.values())),
+    "blocking": lambda record: float(record.blocking_probability()),
+    "events": lambda record: float(record.events_processed),
+}
+
+
+def metric_row(spec: SweepSpec, params, record) -> dict:
+    """Extract this spec's metric values from one cell's record.
+
+    A pure function of the (content-addressed) record, so every worker
+    — and the aggregator replaying from cache — produces identical rows
+    for identical digests.
+    """
+    if spec.kind == "network":
+        return {
+            metric: _NETWORK_EXTRACTORS[metric](record)
+            for metric in spec.metrics
+        }
+    conformant = CONFORMANT_SETS[params["workload"]]
+    row = {}
+    for metric in spec.metrics:
+        label, extractor = parse_metric(metric, conformant)
+        row[label] = float(extractor(record))
+    return row
+
+
+# -- shard I/O ------------------------------------------------------------
+
+
+def append_shard_row(
+    cache_root: str | os.PathLike,
+    sweep_digest: str,
+    owner: str,
+    digest: str,
+    params,
+    metrics,
+) -> pathlib.Path:
+    """Append one cell's row to this worker's shard (single write).
+
+    The line goes out as one ``O_APPEND`` write, so concurrent workers
+    never interleave *within* a line; a worker killed mid-write leaves
+    at most one torn final line, which readers skip.
+    """
+    path = shard_path(cache_root, sweep_digest, owner)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = (
+        json.dumps(
+            {
+                "schema": SHARD_SCHEMA,
+                "sweep": sweep_digest,
+                "digest": digest,
+                "params": dict(params),
+                "metrics": dict(metrics),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        + "\n"
+    )
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+    return path
+
+
+def read_shard_index(
+    cache_root: str | os.PathLike, sweep_digest: str
+) -> dict:
+    """Stream every shard of one sweep into a digest -> metrics index.
+
+    Torn lines (a worker killed mid-append), foreign schemas, and rows
+    from other sweeps are skipped, never fatal.  Duplicate digests (two
+    workers that legitimately re-executed a reaped cell) collapse — the
+    rows are identical by construction.
+    """
+    index: dict = {}
+    root = shard_dir(cache_root)
+    if not root.is_dir():
+        return index
+    for path in sorted(root.glob(f"{sweep_digest[:16]}-*.jsonl")):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except ValueError:
+                continue  # torn write
+            if not isinstance(raw, dict) or raw.get("schema") != SHARD_SCHEMA:
+                continue
+            if raw.get("sweep") != sweep_digest:
+                continue
+            digest = raw.get("digest")
+            metrics = raw.get("metrics")
+            if isinstance(digest, str) and isinstance(metrics, dict):
+                index[digest] = metrics
+    return index
+
+
+# -- aggregation ----------------------------------------------------------
+
+
+def aggregate_sweep(spec: SweepSpec, cache: ResultCache) -> dict:
+    """Fold a completed sweep into its canonical aggregate dict.
+
+    Walks cells in expansion order; each cell's metric row comes from
+    the shard index or, failing that, from the result cache one record
+    at a time — the full record set is never held in memory.  Raises
+    :class:`~repro.errors.ConfigurationError` when cells are missing
+    (the sweep has not finished).
+    """
+    index = read_shard_index(cache.root, spec.digest())
+    groups: dict = {}
+    order: list = []
+    cells = 0
+    missing = 0
+    for params, job in spec.jobs():
+        cells += 1
+        digest = job.digest()
+        metrics = index.get(digest)
+        if metrics is None:
+            record = cache.get(digest)
+            if record is None:
+                missing += 1
+                continue
+            metrics = metric_row(spec, params, record)
+        key = spec.group_key(params)
+        group = groups.get(key)
+        if group is None:
+            group = {
+                "params": {k: v for k, v in params.items() if k != "seed"},
+                "seeds": [],
+                "samples": {metric: [] for metric in spec.metrics},
+            }
+            groups[key] = group
+            order.append(key)
+        group["seeds"].append(int(params["seed"]))
+        for metric in spec.metrics:
+            value = metrics.get(metric)
+            if value is None:
+                raise ConfigurationError(
+                    f"shard row for {digest[:12]} lacks metric {metric!r}"
+                )
+            group["samples"][metric].append(float(value))
+    if missing:
+        raise ConfigurationError(
+            f"sweep {spec.name!r} is incomplete: {missing} of {cells} cells "
+            "have no cached record; run more workers (repro campaign sweep "
+            "run) before aggregating"
+        )
+
+    rows = []
+    for key in order:
+        group = groups[key]
+        metrics_out = {}
+        for metric in spec.metrics:
+            ci = mean_ci(group["samples"][metric])
+            metrics_out[metric] = {
+                "mean": ci.mean,
+                "halfwidth": ci.halfwidth,
+                "n": ci.n,
+            }
+        rows.append(
+            {
+                "params": group["params"],
+                "seeds": group["seeds"],
+                "metrics": metrics_out,
+            }
+        )
+    return {
+        "schema": AGGREGATE_SCHEMA,
+        "name": spec.name,
+        "kind": spec.kind,
+        "sweep_digest": spec.digest(),
+        "sweep": spec.to_dict(),
+        "cells": cells,
+        "groups": rows,
+    }
+
+
+def write_aggregate(aggregate: dict, path: str | os.PathLike) -> pathlib.Path:
+    """Write an aggregate canonically and atomically; returns the path.
+
+    Canonical formatting (sorted keys, fixed separators, trailing
+    newline) is what makes "byte-identical to the serial run" a testable
+    property rather than a JSON-equality hand-wave.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(aggregate, sort_keys=True, indent=1, allow_nan=False)
+    tmp = target.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(payload + "\n", encoding="utf-8")
+    os.replace(tmp, target)
+    return target

@@ -1,0 +1,481 @@
+"""The work-queue runner: serverless sweep sharding over a cache dir.
+
+The coordination point is the cache directory itself — no broker, no
+server, nothing to deploy.  Three file conventions do all the work:
+
+* ``<digest>.json`` — a completed cell (the ordinary result-cache
+  entry).  Completion is what makes resume free: a restarted worker
+  walks the grid and every finished cell is a cache hit.
+* ``<digest>.claim`` — a cell some worker is executing right now.
+  Created with ``O_CREAT | O_EXCL``, which the filesystem guarantees to
+  succeed for exactly one contender; the file carries the owner id and
+  pid, and a daemon thread touches its mtime every few seconds as a
+  heartbeat while the simulation runs.
+* a stale claim — mtime older than the heartbeat timeout — marks a
+  worker that died without releasing.  Reaping renames the claim to a
+  per-process tomb name with ``os.replace`` before deleting it, so when
+  several workers notice the same corpse exactly one wins the rename
+  and counts the reap; the losers get ``FileNotFoundError`` and move on.
+
+Re-executing a reaped cell is always safe: jobs are content-addressed
+and deterministic, so the second execution produces the byte-identical
+record the dead worker would have written.  The whole sweep is therefore
+idempotent — N workers, kills, and resumes land on the same cache state
+(and the same aggregate) as one serial pass.
+
+Sharing the cache directory over NFS works when the export honours
+``O_EXCL`` (NFSv3+ does); see ``docs/campaigns.md`` for tuning notes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign.cache import ResultCache
+from repro.experiments.campaign.runner import execute_job
+from repro.experiments.sweep.aggregate import append_shard_row, metric_row
+from repro.experiments.sweep.spec import SweepSpec
+from repro.obs.telemetry import write_telemetry
+
+__all__ = [
+    "CLAIM_SCHEMA",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "ClaimInfo",
+    "QueueState",
+    "SweepStatus",
+    "WorkerSummary",
+    "claim_path",
+    "read_claim",
+    "reap_stale_claims",
+    "release_claim",
+    "run_sweep_worker",
+    "scan_claims",
+    "scan_queue",
+    "sweep_status",
+    "try_claim",
+]
+
+#: Version tag inside every claim file (audited by ``repro check``).
+CLAIM_SCHEMA = "repro-claim-v1"
+
+#: Claims whose mtime is older than this many (wall-clock) seconds are
+#: considered orphaned and get reaped.  Generous by default: a healthy
+#: worker touches its claim every ``timeout / 4`` seconds, so only a
+#: worker that has been silent for many heartbeats is declared dead.
+DEFAULT_HEARTBEAT_TIMEOUT = 60.0
+
+
+def _wall_now() -> float:
+    """Wall-clock seconds, for claim-age decisions only.
+
+    Queue coordination is about *real* worker liveness across hosts —
+    exactly the one place simulation-determinism rules don't apply; no
+    simulation state ever derives from this value.
+    """
+    # repro: noqa RPR101 — claim heartbeats age in wall-clock time, not sim time
+    return time.time()
+
+
+def default_owner() -> str:
+    """A worker id unique across the hosts sharing one cache dir."""
+    return f"{platform.node() or 'worker'}-{os.getpid()}"
+
+
+# -- claim files ----------------------------------------------------------
+
+
+def claim_path(cache_root: str | os.PathLike, digest: str) -> pathlib.Path:
+    """Where the claim for ``digest`` lives (whether or not it exists)."""
+    return pathlib.Path(cache_root) / f"{digest}.claim"
+
+
+def try_claim(
+    cache_root: str | os.PathLike, digest: str, owner: str
+) -> pathlib.Path | None:
+    """Atomically claim a cell; ``None`` when someone else holds it.
+
+    ``O_CREAT | O_EXCL`` makes the filesystem the arbiter: of N racing
+    workers exactly one sees the create succeed.
+    """
+    root = pathlib.Path(cache_root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = claim_path(root, digest)
+    payload = (
+        json.dumps(
+            {
+                "schema": CLAIM_SCHEMA,
+                "digest": digest,
+                "owner": owner,
+                "pid": os.getpid(),
+            },
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    except FileExistsError:
+        return None
+    try:
+        os.write(fd, payload.encode("utf-8"))
+    finally:
+        os.close(fd)
+    return path
+
+
+def release_claim(path: str | os.PathLike) -> None:
+    """Drop a claim (idempotent: an already-reaped claim is a no-op)."""
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+
+
+def read_claim(path: str | os.PathLike) -> dict | None:
+    """The claim payload, or ``None`` when unreadable/foreign/corrupt."""
+    try:
+        raw = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(raw, dict) or raw.get("schema") != CLAIM_SCHEMA:
+        return None
+    return raw
+
+
+@dataclass(frozen=True)
+class ClaimInfo:
+    """One live or orphaned claim, as seen by a queue scan."""
+
+    digest: str
+    owner: str
+    age: float
+    stale: bool
+
+
+def scan_claims(
+    cache_root: str | os.PathLike,
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    now: float | None = None,
+) -> list[ClaimInfo]:
+    """Every claim under a cache dir, sorted by digest.
+
+    Claims that vanish mid-scan (released or reaped by someone else)
+    are simply skipped.
+    """
+    root = pathlib.Path(cache_root)
+    if not root.is_dir():
+        return []
+    if now is None:
+        now = _wall_now()
+    found = []
+    for path in sorted(root.glob("*.claim")):
+        try:
+            age = max(0.0, now - path.stat().st_mtime)
+        except OSError:
+            continue
+        payload = read_claim(path) or {}
+        found.append(
+            ClaimInfo(
+                digest=path.name[: -len(".claim")],
+                owner=str(payload.get("owner", "?")),
+                age=age,
+                stale=age > heartbeat_timeout,
+            )
+        )
+    return found
+
+
+def reap_stale_claims(
+    cache_root: str | os.PathLike,
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    now: float | None = None,
+) -> list[str]:
+    """Remove orphaned claims; returns the digests reaped *here*.
+
+    Exactly-once accounting: the claim is first renamed to a
+    per-process tomb with ``os.replace`` — atomic, and succeeding for
+    at most one contender — then unlinked.  A worker whose rename loses
+    the race counts nothing.
+    """
+    reaped = []
+    for claim in scan_claims(cache_root, heartbeat_timeout, now=now):
+        if not claim.stale:
+            continue
+        path = claim_path(cache_root, claim.digest)
+        tomb = path.with_name(f"{path.name}.tomb.{os.getpid()}")
+        try:
+            os.replace(path, tomb)
+        except FileNotFoundError:
+            continue  # released, or another worker won the reap
+        try:
+            os.unlink(tomb)
+        except FileNotFoundError:
+            pass
+        reaped.append(claim.digest)
+    return reaped
+
+
+class _Heartbeat(threading.Thread):
+    """Touches a claim's mtime every ``interval`` seconds until stopped."""
+
+    def __init__(self, path: pathlib.Path, interval: float) -> None:
+        super().__init__(name=f"heartbeat-{path.name[:12]}", daemon=True)
+        self._path = path
+        self._interval = interval
+        # Not named _stop: threading.Thread owns a private _stop method.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._interval):
+            try:
+                os.utime(self._path, None)
+            except OSError:
+                return  # claim reaped under us; executing on is still safe
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=self._interval + 1.0)
+
+
+# -- the worker loop ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerSummary:
+    """What one :func:`run_sweep_worker` call did.
+
+    Attributes:
+        owner: the worker id used for claims and the shard file.
+        executed: cells this worker simulated and cached.
+        reaped: stale claims this worker removed (exactly-once counts).
+        passes: grid passes made before exiting.
+        outstanding: cells still claimed by *other* workers at exit
+            (zero means the sweep was complete when this worker left).
+    """
+
+    owner: str
+    executed: int
+    reaped: int
+    passes: int
+    outstanding: int
+
+
+def _preflight_job(job, digest: str) -> None:
+    """Audit a network job's invariants before burning simulation time.
+
+    Mirrors :meth:`CampaignRunner._preflight` for the one-job-at-a-time
+    queue: single-port jobs pass through (their constructors already
+    validate), fabric scenarios go through the invariant auditor.
+    """
+    scenario = getattr(job, "scenario", None)
+    if scenario is None:
+        return
+    # Lazy import, exactly like the runner: repro.check.invariants pulls
+    # in the fabric/admission machinery only preflight needs.
+    from repro.check.invariants import check_scenario
+
+    failures = [
+        finding
+        for finding in check_scenario(scenario, path=f"<job {digest[:12]}>")
+        if finding.severity == "error"
+    ]
+    if failures:
+        detail = "\n".join(
+            f"  {f.path}: {f.rule_id} {f.message}" for f in failures
+        )
+        raise ConfigurationError(
+            f"sweep pre-flight rejected job {digest[:12]}: "
+            f"{len(failures)} invariant violation(s)\n{detail}"
+        )
+
+
+def run_sweep_worker(
+    spec: SweepSpec,
+    cache: ResultCache,
+    owner: str | None = None,
+    *,
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    heartbeat_interval: float | None = None,
+    wait: bool = False,
+    poll_interval: float = 0.5,
+    preflight: bool = False,
+    telemetry_dir: str | os.PathLike | None = None,
+) -> WorkerSummary:
+    """Execute one worker's share of a sweep; returns its summary.
+
+    The worker streams the grid (never materializing it), skipping
+    completed cells, claiming and executing unclaimed ones, and reaping
+    stale claims at the top of each pass.  It exits when every cell is
+    complete — or, with ``wait=False`` (the default), as soon as the
+    only cells left are claimed by live peers.  ``wait=True`` keeps
+    polling until the whole sweep is done, which makes the call a
+    barrier: when it returns with ``outstanding == 0`` the aggregate
+    can be built.
+
+    Interruption-safety: a killed worker leaves its claim to go stale
+    (reaped by the next pass of any peer after ``heartbeat_timeout``)
+    and at most one torn shard line (skipped by the aggregator); cells
+    it completed are ordinary cache entries, so its replacement resumes
+    exactly where it died.
+    """
+    if heartbeat_timeout <= 0:
+        raise ConfigurationError(
+            f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+        )
+    if owner is None:
+        owner = default_owner()
+    if heartbeat_interval is None:
+        heartbeat_interval = max(0.05, heartbeat_timeout / 4.0)
+    sweep_digest = spec.digest()
+
+    executed = 0
+    reaped = 0
+    passes = 0
+    entries = []
+    while True:
+        passes += 1
+        reaped += len(reap_stale_claims(cache.root, heartbeat_timeout))
+        outstanding = 0
+        progress = False
+        for params, job in spec.jobs():
+            digest = job.digest()
+            if digest in cache:
+                if passes == 1:
+                    # Resume semantics in the lifetime stats: every cell
+                    # this worker found already complete was served from
+                    # the cache (a warm re-run shows cells == hits).
+                    cache.hits += 1
+                continue
+            claim = try_claim(cache.root, digest, owner)
+            if claim is None:
+                outstanding += 1
+                continue
+            if digest in cache:
+                # Completed between our membership check and the claim.
+                release_claim(claim)
+                continue
+            if preflight:
+                try:
+                    _preflight_job(job, digest)
+                except ConfigurationError:
+                    release_claim(claim)
+                    raise
+            heartbeat = _Heartbeat(claim, heartbeat_interval)
+            heartbeat.start()
+            try:
+                record = execute_job(job)
+            finally:
+                heartbeat.stop()
+            cache.put(record)
+            append_shard_row(
+                cache.root,
+                sweep_digest,
+                owner,
+                digest,
+                params,
+                metric_row(spec, params, record),
+            )
+            release_claim(claim)
+            executed += 1
+            progress = True
+            if record.telemetry is not None:
+                entries.append(record.telemetry)
+        if outstanding == 0:
+            break
+        if not progress:
+            if not wait:
+                break
+            time.sleep(poll_interval)
+
+    if telemetry_dir is not None and entries:
+        write_telemetry(telemetry_dir, entries)
+    cache.persist_stats()
+    return WorkerSummary(
+        owner=owner,
+        executed=executed,
+        reaped=reaped,
+        passes=passes,
+        outstanding=outstanding,
+    )
+
+
+# -- status ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepStatus:
+    """Queue state of one sweep against one cache directory."""
+
+    cells: int
+    completed: int
+    claimed: int
+    orphaned: int
+    pending: int
+
+    @property
+    def complete(self) -> bool:
+        return self.cells > 0 and self.completed == self.cells
+
+
+def sweep_status(
+    spec: SweepSpec,
+    cache: ResultCache,
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+) -> SweepStatus:
+    """Walk the grid and classify every cell (streaming, O(1) memory)."""
+    stale_digests = set()
+    live_digests = set()
+    for claim in scan_claims(cache.root, heartbeat_timeout):
+        (stale_digests if claim.stale else live_digests).add(claim.digest)
+    cells = completed = claimed = orphaned = pending = 0
+    for _params, job in spec.jobs():
+        digest = job.digest()
+        cells += 1
+        if digest in cache:
+            completed += 1
+        elif digest in live_digests:
+            claimed += 1
+        elif digest in stale_digests:
+            orphaned += 1
+        else:
+            pending += 1
+    return SweepStatus(
+        cells=cells,
+        completed=completed,
+        claimed=claimed,
+        orphaned=orphaned,
+        pending=pending,
+    )
+
+
+@dataclass(frozen=True)
+class QueueState:
+    """Spec-free queue view of a cache directory (for campaign status)."""
+
+    claimed: int
+    orphaned: int
+
+    @property
+    def total(self) -> int:
+        return self.claimed + self.orphaned
+
+
+def scan_queue(
+    cache_root: str | os.PathLike,
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+) -> QueueState:
+    """Count live vs orphaned claims without needing the sweep spec."""
+    claimed = orphaned = 0
+    for claim in scan_claims(cache_root, heartbeat_timeout):
+        if claim.stale:
+            orphaned += 1
+        else:
+            claimed += 1
+    return QueueState(claimed=claimed, orphaned=orphaned)

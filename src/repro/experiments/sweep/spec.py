@@ -1,0 +1,474 @@
+"""The sweep DSL: frozen, lazily-expanded cartesian parameter grids.
+
+A :class:`SweepSpec` describes a whole campaign — thousands of
+``(buffer size x scheme x seed x topology x churn load)`` points — as
+one small, JSON-round-trippable value.  Expansion is *lazy*:
+:meth:`SweepSpec.cells` and :meth:`SweepSpec.jobs` are generators that
+yield one parameter combination (and one content-addressed
+:class:`~repro.experiments.campaign.job.ScenarioJob` /
+:class:`~repro.experiments.campaign.network.NetworkJob`) at a time, so
+a 10,000-cell grid costs the same peak memory as a 10-cell one.  That
+property is what lets the work-queue runner (:mod:`.queue`) stream a
+grid past the claim files instead of materializing a batch.
+
+Two grid kinds exist:
+
+* ``"scenario"`` — single-port runs over the paper's named workloads
+  (axes over ``workload``, ``scheme``, ``buffer_mb``, ``seed``,
+  ``sim_time``, ``warmup``, ``link_mbps``, ``headroom_mb``,
+  ``delay_histograms``, ``max_events``);
+* ``"network"`` — reference-tandem fabric runs (axes over ``hops``,
+  ``seed``, ``sim_time``, ``churn``, ``reclamation``, ``arrival_rate``,
+  ``mean_holding``, ``delay_histograms``).
+
+Optional :class:`SweepConstraint` predicates prune the product — e.g.
+"only sweep headroom where the scheme shares buffer" — as data, not
+code, so a spec file stays hermetic and its digest covers everything
+that determines the result set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign.job import ScenarioJob
+from repro.experiments.campaign.network import NetworkJob
+from repro.experiments.fabric.demo import demo_tandem
+from repro.experiments.schemes import Scheme
+from repro.experiments.spec import (
+    CONFORMANT_SETS,
+    DEFAULT_GROUPS,
+    WORKLOADS,
+    parse_metric,
+)
+from repro.units import mbps, mbytes
+
+__all__ = [
+    "SWEEP_SPEC_SCHEMA",
+    "SweepAxis",
+    "SweepConstraint",
+    "SweepSpec",
+    "load_sweep",
+]
+
+#: Version tag on serialized sweep specifications.  Bump whenever a
+#: parameter's meaning or the expansion order changes: the sweep digest
+#: covers this tag, so old cache entries and aggregates then miss
+#: instead of silently mixing generations.
+SWEEP_SPEC_SCHEMA = "repro-sweep-spec-v1"
+
+#: Parameters a ``"scenario"`` grid may set, with their defaults.
+SCENARIO_DEFAULTS: dict = {
+    "workload": "table1",
+    "scheme": "FIFO_THRESHOLD",
+    "buffer_mb": 1.0,
+    "seed": 1,
+    "sim_time": 8.0,
+    "warmup": None,
+    "link_mbps": 48.0,
+    "headroom_mb": 2.0,
+    "delay_histograms": False,
+    "max_events": None,
+}
+
+#: Parameters a ``"network"`` grid may set, with their defaults.
+NETWORK_DEFAULTS: dict = {
+    "hops": 3,
+    "seed": 1,
+    "sim_time": 8.0,
+    "churn": True,
+    "reclamation": False,
+    "arrival_rate": 6.0,
+    "mean_holding": 4.0,
+    "delay_histograms": False,
+}
+
+_DEFAULTS_BY_KIND = {"scenario": SCENARIO_DEFAULTS, "network": NETWORK_DEFAULTS}
+
+#: Metric sets offered per kind; ``"scenario"`` metrics go through
+#: :func:`repro.experiments.spec.parse_metric`, network ones are fixed
+#: record extractors (see :mod:`.aggregate`).
+DEFAULT_METRICS = {
+    "scenario": ("utilization", "loss"),
+    "network": ("delivered", "blocking"),
+}
+NETWORK_METRICS = ("delivered", "blocking", "events")
+
+_CONSTRAINT_OPS = ("==", "!=", "<", "<=", ">", ">=", "in", "not-in")
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def _is_scalar(value) -> bool:
+    return value is None or isinstance(value, _SCALAR_TYPES)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter: a name and its ordered value list."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(f"axis name must be a string, got {self.name!r}")
+        if not self.values:
+            raise ConfigurationError(f"axis {self.name!r} has no values")
+        for value in self.values:
+            if not _is_scalar(value):
+                raise ConfigurationError(
+                    f"axis {self.name!r} value {value!r} is not a JSON scalar"
+                )
+        if len(set(map(repr, self.values))) != len(self.values):
+            raise ConfigurationError(f"axis {self.name!r} repeats a value")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "values": list(self.values)}
+
+    @staticmethod
+    def from_dict(raw: dict) -> "SweepAxis":
+        return SweepAxis(name=str(raw["name"]), values=tuple(raw["values"]))
+
+
+@dataclass(frozen=True)
+class SweepConstraint:
+    """A data-only predicate pruning the cartesian product.
+
+    ``param <op> value`` or, with ``other`` set, ``param <op> <other
+    param>``.  Operators: ``== != < <= > >= in not-in`` (the membership
+    forms expect ``value`` to be a list).
+    """
+
+    param: str
+    op: str
+    value: object = None
+    other: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _CONSTRAINT_OPS:
+            raise ConfigurationError(
+                f"unknown constraint op {self.op!r}; valid: {_CONSTRAINT_OPS}"
+            )
+        if self.other is not None and self.op in ("in", "not-in"):
+            raise ConfigurationError(
+                f"constraint on {self.param!r}: membership ops take a "
+                "value list, not another parameter"
+            )
+        if self.op in ("in", "not-in"):
+            if not isinstance(self.value, (list, tuple)):
+                raise ConfigurationError(
+                    f"constraint on {self.param!r}: {self.op!r} needs a list value"
+                )
+            object.__setattr__(self, "value", tuple(self.value))
+
+    def admits(self, params: Mapping) -> bool:
+        """True when the cell described by ``params`` survives."""
+        lhs = params[self.param]
+        rhs = params[self.other] if self.other is not None else self.value
+        if self.op == "==":
+            return lhs == rhs
+        if self.op == "!=":
+            return lhs != rhs
+        if self.op == "<":
+            return lhs < rhs
+        if self.op == "<=":
+            return lhs <= rhs
+        if self.op == ">":
+            return lhs > rhs
+        if self.op == ">=":
+            return lhs >= rhs
+        if self.op == "in":
+            return lhs in self.value
+        return lhs not in self.value
+
+    def to_dict(self) -> dict:
+        raw: dict = {"param": self.param, "op": self.op}
+        if self.other is not None:
+            raw["other"] = self.other
+        else:
+            raw["value"] = (
+                list(self.value) if isinstance(self.value, tuple) else self.value
+            )
+        return raw
+
+    @staticmethod
+    def from_dict(raw: dict) -> "SweepConstraint":
+        return SweepConstraint(
+            param=str(raw["param"]),
+            op=str(raw["op"]),
+            value=raw.get("value"),
+            other=None if raw.get("other") is None else str(raw["other"]),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A frozen description of one whole parameter-grid campaign.
+
+    Attributes:
+        name: human label; enters the digest.
+        kind: ``"scenario"`` (single-port) or ``"network"`` (tandem
+            fabric).
+        axes: the swept parameters, outermost first — expansion is
+            row-major over the declared order, which fixes the cell
+            order for workers and aggregation alike.
+        constraints: optional predicates pruning the product.
+        base: fixed parameter overrides applied to every cell (stored
+            as sorted ``(key, value)`` pairs so the spec stays frozen
+            and its digest canonical).
+        metrics: metric labels aggregated per cell group.
+    """
+
+    name: str
+    axes: tuple[SweepAxis, ...]
+    kind: str = "scenario"
+    constraints: tuple[SweepConstraint, ...] = ()
+    base: tuple[tuple[str, object], ...] = ()
+    metrics: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a sweep needs a non-empty name")
+        if self.kind not in _DEFAULTS_BY_KIND:
+            raise ConfigurationError(
+                f"unknown sweep kind {self.kind!r}; valid: "
+                f"{sorted(_DEFAULTS_BY_KIND)}"
+            )
+        object.__setattr__(self, "axes", tuple(self.axes))
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+        if isinstance(self.base, Mapping):
+            base_items = tuple(sorted(self.base.items()))
+        else:
+            base_items = tuple(sorted((str(k), v) for k, v in self.base))
+        object.__setattr__(self, "base", base_items)
+        if not self.metrics:
+            object.__setattr__(self, "metrics", DEFAULT_METRICS[self.kind])
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+
+        defaults = _DEFAULTS_BY_KIND[self.kind]
+        axis_names = [axis.name for axis in self.axes]
+        if len(set(axis_names)) != len(axis_names):
+            raise ConfigurationError(f"duplicate axis names in {axis_names}")
+        for key, value in self.base:
+            if key in axis_names:
+                raise ConfigurationError(
+                    f"parameter {key!r} is both a base value and an axis"
+                )
+            if not _is_scalar(value):
+                raise ConfigurationError(
+                    f"base parameter {key!r} value {value!r} is not a JSON scalar"
+                )
+        for param in itertools.chain(axis_names, (k for k, _v in self.base)):
+            if param not in defaults:
+                raise ConfigurationError(
+                    f"unknown {self.kind} parameter {param!r}; valid: "
+                    f"{sorted(defaults)}"
+                )
+        known = set(defaults)
+        for constraint in self.constraints:
+            if constraint.param not in known:
+                raise ConfigurationError(
+                    f"constraint references unknown parameter {constraint.param!r}"
+                )
+            if constraint.other is not None and constraint.other not in known:
+                raise ConfigurationError(
+                    f"constraint references unknown parameter {constraint.other!r}"
+                )
+        self._validate_values()
+        self._validate_metrics()
+
+    # -- eager validation ------------------------------------------------
+
+    def _iter_declared(self) -> Iterator[tuple[str, object]]:
+        for key, value in self.base:
+            yield key, value
+        for axis in self.axes:
+            for value in axis.values:
+                yield axis.name, value
+
+    def _validate_values(self) -> None:
+        """Reject bad schemes/workloads at the describe stage, not in a
+        worker twenty minutes into a sweep."""
+        for key, value in self._iter_declared():
+            if key == "scheme":
+                if not isinstance(value, str) or value not in Scheme.__members__:
+                    raise ConfigurationError(
+                        f"unknown scheme {value!r}; valid: "
+                        + ", ".join(Scheme.__members__)
+                    )
+            elif key == "workload":
+                if value not in WORKLOADS:
+                    raise ConfigurationError(
+                        f"unknown workload {value!r}; valid: {sorted(WORKLOADS)}"
+                    )
+            elif key in ("seed", "hops", "max_events"):
+                if value is not None and not isinstance(value, int):
+                    raise ConfigurationError(
+                        f"parameter {key!r} must be an integer, got {value!r}"
+                    )
+
+    def _validate_metrics(self) -> None:
+        if self.kind == "network":
+            for metric in self.metrics:
+                if metric not in NETWORK_METRICS:
+                    raise ConfigurationError(
+                        f"unknown network metric {metric!r}; valid: "
+                        f"{NETWORK_METRICS}"
+                    )
+            return
+        # Scenario metrics share the declarative-spec grammar; validate
+        # against every workload the grid can produce.
+        workloads = sorted(
+            {value for key, value in self._iter_declared() if key == "workload"}
+        ) or [SCENARIO_DEFAULTS["workload"]]
+        for workload in workloads:
+            for metric in self.metrics:
+                parse_metric(metric, CONFORMANT_SETS[workload])
+
+    # -- expansion -------------------------------------------------------
+
+    @property
+    def base_params(self) -> dict:
+        """The fixed overrides as a fresh dict."""
+        return dict(self.base)
+
+    def defaults(self) -> dict:
+        """The full default parameter set for this spec's kind."""
+        return dict(_DEFAULTS_BY_KIND[self.kind])
+
+    def total_cells(self) -> int:
+        """Grid size before constraints (product of axis lengths)."""
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def cells(self) -> Iterator[dict]:
+        """Lazily yield one full parameter dict per surviving cell.
+
+        Row-major over the declared axis order; peak memory is
+        O(axes), independent of the grid size.
+        """
+        template = self.defaults()
+        template.update(self.base)
+        names = [axis.name for axis in self.axes]
+        for combo in itertools.product(*(axis.values for axis in self.axes)):
+            params = dict(template)
+            params.update(zip(names, combo))
+            if all(constraint.admits(params) for constraint in self.constraints):
+                yield params
+
+    def count(self) -> int:
+        """Number of cells after constraints (iterates, stays lazy)."""
+        total = 0
+        for _params in self.cells():
+            total += 1
+        return total
+
+    def job_for_cell(self, params: Mapping) -> ScenarioJob | NetworkJob:
+        """The content-addressed job executing one cell."""
+        if self.kind == "network":
+            return NetworkJob(
+                scenario=demo_tandem(
+                    hops=int(params["hops"]),
+                    seed=int(params["seed"]),
+                    sim_time=float(params["sim_time"]),
+                    churn=bool(params["churn"]),
+                    reclamation=bool(params["reclamation"]),
+                    arrival_rate=float(params["arrival_rate"]),
+                    mean_holding=float(params["mean_holding"]),
+                    delay_histograms=bool(params["delay_histograms"]),
+                )
+            )
+        workload = params["workload"]
+        scheme = Scheme[params["scheme"]]
+        warmup = params["warmup"]
+        max_events = params["max_events"]
+        return ScenarioJob(
+            flows=tuple(WORKLOADS[workload]()),
+            scheme=scheme,
+            buffer_size=mbytes(float(params["buffer_mb"])),
+            link_rate=mbps(float(params["link_mbps"])),
+            sim_time=float(params["sim_time"]),
+            warmup=None if warmup is None else float(warmup),
+            seed=int(params["seed"]),
+            headroom=mbytes(float(params["headroom_mb"])),
+            groups=DEFAULT_GROUPS[workload] if scheme.is_hybrid else None,
+            delay_histograms=bool(params["delay_histograms"]),
+            max_events=None if max_events is None else int(max_events),
+        )
+
+    def jobs(self) -> Iterator[tuple[dict, ScenarioJob | NetworkJob]]:
+        """Lazily yield ``(cell params, job)`` pairs in cell order."""
+        for params in self.cells():
+            yield params, self.job_for_cell(params)
+
+    def group_key(self, params: Mapping) -> str:
+        """Canonical aggregation key: the cell minus its ``seed`` axis.
+
+        Cells differing only in seed fold into one aggregate group
+        (mean +/- CI over seeds), mirroring the paper's replications.
+        """
+        grouped = {key: value for key, value in params.items() if key != "seed"}
+        return json.dumps(grouped, sort_keys=True, separators=(",", ":"))
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-friendly form; round-trips via :meth:`from_dict`."""
+        return {
+            "schema": SWEEP_SPEC_SCHEMA,
+            "name": self.name,
+            "kind": self.kind,
+            "axes": [axis.to_dict() for axis in self.axes],
+            "constraints": [c.to_dict() for c in self.constraints],
+            "base": {key: value for key, value in self.base},
+            "metrics": list(self.metrics),
+        }
+
+    @staticmethod
+    def from_dict(raw: dict) -> "SweepSpec":
+        schema = raw.get("schema")
+        if schema != SWEEP_SPEC_SCHEMA:
+            raise ConfigurationError(
+                f"sweep schema mismatch: got {schema!r}, expected "
+                f"{SWEEP_SPEC_SCHEMA!r}"
+            )
+        return SweepSpec(
+            name=str(raw["name"]),
+            kind=str(raw.get("kind", "scenario")),
+            axes=tuple(SweepAxis.from_dict(entry) for entry in raw["axes"]),
+            constraints=tuple(
+                SweepConstraint.from_dict(entry)
+                for entry in raw.get("constraints", ())
+            ),
+            base=tuple(sorted(dict(raw.get("base", {})).items())),
+            metrics=tuple(raw.get("metrics", ())),
+        )
+
+    def digest(self) -> str:
+        """Stable SHA-256 content digest of the sweep description."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def load_sweep(path: str | pathlib.Path) -> SweepSpec:
+    """Load one :class:`SweepSpec` from a JSON file."""
+    try:
+        raw = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read sweep spec: {exc}") from None
+    except ValueError as exc:
+        raise ConfigurationError(f"sweep spec is not valid JSON: {exc}") from None
+    if not isinstance(raw, dict):
+        raise ConfigurationError("a sweep spec file must contain one JSON object")
+    return SweepSpec.from_dict(raw)

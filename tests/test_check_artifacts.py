@@ -10,6 +10,14 @@ from repro.check.artifacts import (
     check_artifact_file,
     schema_family,
 )
+from repro.experiments.sweep import (
+    AGGREGATE_SCHEMA,
+    CLAIM_SCHEMA,
+    SHARD_SCHEMA,
+    SWEEP_SPEC_SCHEMA,
+    SweepSpec,
+    try_claim,
+)
 from repro.obs.events import TRACE_SCHEMA
 from repro.obs.telemetry import TELEMETRY_SCHEMA
 from repro.obs.timeline import TIMELINE_SCHEMA, Timeline
@@ -127,6 +135,127 @@ class TestJsonlArtifacts:
 
     def test_bench_tag_constant_matches_registry(self):
         assert KNOWN_SCHEMAS["repro-bench"] == BENCH_SCHEMA
+
+
+SWEEP_SPEC_DICT = {
+    "schema": SWEEP_SPEC_SCHEMA,
+    "name": "audit",
+    "kind": "scenario",
+    "axes": [
+        {"name": "scheme", "values": ["FIFO_NONE"]},
+        {"name": "seed", "values": [1, 2]},
+    ],
+    "constraints": [],
+    "base": {"sim_time": 0.5, "warmup": 0.1},
+    "metrics": ["utilization", "loss"],
+}
+
+
+class TestSweepArtifacts:
+    def test_sweep_tags_are_registered(self):
+        assert KNOWN_SCHEMAS["repro-sweep"] == AGGREGATE_SCHEMA
+        assert KNOWN_SCHEMAS["repro-sweep-spec"] == SWEEP_SPEC_SCHEMA
+        assert KNOWN_SCHEMAS["repro-sweep-shard"] == SHARD_SCHEMA
+        assert KNOWN_SCHEMAS["repro-claim"] == CLAIM_SCHEMA
+
+    def test_committed_ci_grid_is_clean(self):
+        assert check_artifact_file(pathlib.Path("examples/sweeps/ci_grid.json")) == []
+
+    def test_valid_spec_round_trips_clean(self, tmp_path):
+        target = tmp_path / "sweep.json"
+        target.write_text(json.dumps(SWEEP_SPEC_DICT), encoding="utf-8")
+        assert check_artifact_file(target) == []
+
+    def test_malformed_spec_is_rejected(self, tmp_path):
+        raw = dict(SWEEP_SPEC_DICT, axes=[{"name": "scheme", "values": ["BOGUS"]}])
+        target = tmp_path / "sweep.json"
+        target.write_text(json.dumps(raw), encoding="utf-8")
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "sweep spec rejected" in findings[0].message
+
+    def test_aggregate_with_matching_digest_is_clean(self, tmp_path):
+        spec = SweepSpec.from_dict(SWEEP_SPEC_DICT)
+        aggregate = {
+            "schema": AGGREGATE_SCHEMA,
+            "name": spec.name,
+            "kind": spec.kind,
+            "sweep_digest": spec.digest(),
+            "sweep": spec.to_dict(),
+            "cells": 2,
+            "groups": [],
+        }
+        target = tmp_path / "agg.json"
+        target.write_text(json.dumps(aggregate), encoding="utf-8")
+        assert check_artifact_file(target) == []
+
+    def test_aggregate_digest_mismatch_is_drift(self, tmp_path):
+        spec = SweepSpec.from_dict(SWEEP_SPEC_DICT)
+        aggregate = {
+            "schema": AGGREGATE_SCHEMA,
+            "sweep_digest": "f" * 64,
+            "sweep": spec.to_dict(),
+            "cells": 2,
+            "groups": [],
+        }
+        target = tmp_path / "agg.json"
+        target.write_text(json.dumps(aggregate), encoding="utf-8")
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "digest mismatch" in findings[0].message
+
+    def test_aggregate_without_embedded_spec_is_flagged(self, tmp_path):
+        target = tmp_path / "agg.json"
+        target.write_text(
+            json.dumps({"schema": AGGREGATE_SCHEMA, "groups": []}),
+            encoding="utf-8",
+        )
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "embedded sweep spec" in findings[0].message
+
+    def test_shard_lines_are_checked_individually(self, tmp_path):
+        target = tmp_path / "shard.jsonl"
+        lines = [
+            {"schema": SHARD_SCHEMA, "digest": "a" * 64, "metrics": {}},
+            {"schema": "repro-sweep-shard-v9", "digest": "b" * 64},
+        ]
+        target.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines), encoding="utf-8"
+        )
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "inconsistent" in findings[0].message
+
+    def test_live_claim_file_is_clean(self, tmp_path):
+        digest = "a" * 64
+        path = try_claim(tmp_path, digest, "auditor")
+        assert check_artifact_file(path) == []
+
+    def test_claim_digest_mismatch_is_flagged(self, tmp_path):
+        target = tmp_path / ("b" * 64 + ".claim")
+        target.write_text(
+            json.dumps({"schema": CLAIM_SCHEMA, "digest": "a" * 64, "owner": "x"}),
+            encoding="utf-8",
+        )
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "claim digest mismatch" in findings[0].message
+
+    def test_stale_claim_schema_is_drift(self, tmp_path):
+        target = tmp_path / ("c" * 64 + ".claim")
+        target.write_text(
+            json.dumps({"schema": "repro-claim-v0", "digest": "c" * 64}),
+            encoding="utf-8",
+        )
+        assert codes(check_artifact_file(target)) == ["RPR205"]
+
+    def test_corrupt_claim_is_flagged(self, tmp_path):
+        target = tmp_path / ("d" * 64 + ".claim")
+        target.write_text("{torn", encoding="utf-8")
+        findings = check_artifact_file(target)
+        assert codes(findings) == ["RPR205"]
+        assert "not valid JSON" in findings[0].message
 
     def test_timeline_tag_constant_matches_registry(self):
         assert KNOWN_SCHEMAS["repro-timeline"] == TIMELINE_SCHEMA

@@ -135,6 +135,98 @@ class TestCampaignCommands:
         assert "lifetime stores : 1" in out
         assert "cached bytes    : " in out
 
+    def test_status_reports_queue_state(self, tmp_path, capsys):
+        from repro.experiments.sweep import try_claim
+
+        cache_dir = tmp_path / "c"
+        cache_dir.mkdir()
+        try_claim(cache_dir, "a" * 64, "w1")
+        assert main(["campaign", "status", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "claimed         : 1" in out
+        assert "orphaned claims : 0" in out
+
+
+SWEEP_SPEC = (
+    '{"schema": "repro-sweep-spec-v1", "name": "cli", "kind": "scenario",'
+    ' "axes": [{"name": "scheme", "values": ["FIFO_NONE"]},'
+    ' {"name": "seed", "values": [1, 2]}],'
+    ' "base": {"sim_time": 0.5, "warmup": 0.1},'
+    ' "metrics": ["utilization", "loss"]}'
+)
+
+
+class TestSweepCommands:
+    def write_spec(self, tmp_path):
+        spec = tmp_path / "sweep.json"
+        spec.write_text(SWEEP_SPEC)
+        return spec
+
+    def argv(self, verb, spec, tmp_path, *extra):
+        return [
+            "campaign", "sweep", verb, "--spec", str(spec),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--telemetry-dir", str(tmp_path / "telemetry"),
+            *extra,
+        ]
+
+    def test_unknown_verb_rejected(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(self.argv("harvest", spec, tmp_path)) == 2
+        assert "unknown sweep verb" in capsys.readouterr().err
+
+    def test_run_requires_spec(self, capsys):
+        assert main(["campaign", "sweep", "run"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_status_before_any_work_is_incomplete(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(self.argv("status", spec, tmp_path)) == 1
+        out = capsys.readouterr().out
+        assert "cells           : 2" in out
+        assert "pending         : 2" in out
+
+    def test_run_status_aggregate_round_trip(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(self.argv("run", spec, tmp_path, "--owner", "w1")) == 0
+        run_out = capsys.readouterr().out
+        assert "executed        : 2" in run_out
+        assert "worker          : w1" in run_out
+        assert main(self.argv("status", spec, tmp_path)) == 0
+        status_out = capsys.readouterr().out
+        assert "completed       : 2" in status_out
+        assert "pending         : 0" in status_out
+        out_file = tmp_path / "agg.json"
+        argv = self.argv("aggregate", spec, tmp_path, "--out", str(out_file))
+        assert main(argv) == 0
+        agg_out = capsys.readouterr().out
+        assert "groups          : 1" in agg_out
+        assert out_file.exists()
+
+    def test_warm_rerun_executes_nothing(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        main(self.argv("run", spec, tmp_path))
+        capsys.readouterr()
+        assert main(self.argv("run", spec, tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "executed        : 0" in out
+
+    def test_aggregate_before_completion_fails(self, tmp_path, capsys):
+        from repro.errors import ConfigurationError
+
+        spec = self.write_spec(tmp_path)
+        with pytest.raises(ConfigurationError, match="incomplete"):
+            main(self.argv("aggregate", spec, tmp_path))
+
+    def test_aggregate_default_path_is_digest_keyed(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        main(self.argv("run", spec, tmp_path))
+        assert main(self.argv("aggregate", spec, tmp_path)) == 0
+        out = capsys.readouterr().out
+        aggregates = list((tmp_path / "cache" / "aggregates").glob("*.json"))
+        assert len(aggregates) == 1
+        assert str(aggregates[0]) in out
+
 
 class TestObsCommands:
     SPEC = (

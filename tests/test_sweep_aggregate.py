@@ -1,0 +1,196 @@
+"""Streaming aggregation: shards, torn lines, byte-identical folds."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign.cache import ResultCache
+from repro.experiments.campaign.runner import execute_job
+from repro.experiments.sweep import (
+    AGGREGATE_SCHEMA,
+    SHARD_SCHEMA,
+    SweepAxis,
+    SweepSpec,
+    aggregate_sweep,
+    append_shard_row,
+    default_aggregate_path,
+    metric_row,
+    read_shard_index,
+    run_sweep_worker,
+    shard_dir,
+    shard_path,
+    write_aggregate,
+)
+
+FAST = {"sim_time": 0.5, "warmup": 0.1}
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        name="agg",
+        axes=(
+            SweepAxis("scheme", ("FIFO_NONE", "FIFO_THRESHOLD")),
+            SweepAxis("seed", (1, 2)),
+        ),
+        base=FAST,
+        metrics=("utilization", "loss"),
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+def run_serial(spec, root):
+    cache = ResultCache(root)
+    for _params, job in spec.jobs():
+        record = cache.get(job.digest())
+        if record is None:
+            cache.put(execute_job(job))
+    return cache
+
+
+class TestMetricRow:
+    def test_scenario_row_uses_declared_metrics(self):
+        spec = small_spec()
+        params, job = next(iter(spec.jobs()))
+        record = execute_job(job)
+        row = metric_row(spec, params, record)
+        assert set(row) == {"utilization", "loss"}
+        assert all(isinstance(v, float) for v in row.values())
+
+    def test_network_row_uses_fixed_extractors(self):
+        spec = SweepSpec(
+            name="net",
+            kind="network",
+            axes=(SweepAxis("seed", (1,)),),
+            base={"hops": 1, "sim_time": 0.5, "delay_histograms": False},
+            metrics=("delivered", "blocking", "events"),
+        )
+        params, job = next(iter(spec.jobs()))
+        record = execute_job(job)
+        row = metric_row(spec, params, record)
+        assert set(row) == {"delivered", "blocking", "events"}
+        assert row["events"] > 0
+
+
+class TestShardIO:
+    def test_append_then_read_round_trip(self, tmp_path):
+        spec = small_spec()
+        path = append_shard_row(
+            tmp_path, spec.digest(), "w1", "d" * 64,
+            {"seed": 1}, {"utilization": 42.0},
+        )
+        assert path == shard_path(tmp_path, spec.digest(), "w1")
+        assert path.parent == shard_dir(tmp_path)
+        index = read_shard_index(tmp_path, spec.digest())
+        assert index == {"d" * 64: {"utilization": 42.0}}
+        line = json.loads(path.read_text().splitlines()[0])
+        assert line["schema"] == SHARD_SCHEMA
+
+    def test_owner_name_is_sanitized(self, tmp_path):
+        path = shard_path(tmp_path, "a" * 64, "host/with:odd chars")
+        assert "/" not in path.name and ":" not in path.name
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        digest = small_spec().digest()
+        path = append_shard_row(
+            tmp_path, digest, "w1", "a" * 64, {"seed": 1}, {"m": 1.0}
+        )
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": "repro-sweep-shard-v1", "dig')  # SIGKILL
+        index = read_shard_index(tmp_path, digest)
+        assert index == {"a" * 64: {"m": 1.0}}
+
+    def test_foreign_sweeps_and_schemas_are_ignored(self, tmp_path):
+        digest = small_spec().digest()
+        append_shard_row(tmp_path, digest, "w1", "a" * 64, {}, {"m": 1.0})
+        # A row from a different sweep whose file-name prefix collides.
+        path = shard_path(tmp_path, digest, "w2")
+        foreign = {
+            "schema": SHARD_SCHEMA,
+            "sweep": "f" * 64,
+            "digest": "b" * 64,
+            "params": {},
+            "metrics": {"m": 9.0},
+        }
+        alien = {"schema": "other-v1", "digest": "c" * 64, "metrics": {}}
+        path.write_text(
+            json.dumps(foreign) + "\n" + json.dumps(alien) + "\n"
+        )
+        index = read_shard_index(tmp_path, digest)
+        assert set(index) == {"a" * 64}
+
+    def test_duplicate_digests_collapse(self, tmp_path):
+        digest = small_spec().digest()
+        for owner in ("w1", "w2"):
+            append_shard_row(
+                tmp_path, digest, owner, "a" * 64, {"seed": 1}, {"m": 2.5}
+            )
+        assert read_shard_index(tmp_path, digest) == {"a" * 64: {"m": 2.5}}
+
+    def test_missing_shard_dir_is_empty_index(self, tmp_path):
+        assert read_shard_index(tmp_path, "a" * 64) == {}
+
+
+class TestAggregate:
+    def test_incomplete_sweep_raises(self, tmp_path):
+        spec = small_spec()
+        with pytest.raises(ConfigurationError, match="incomplete"):
+            aggregate_sweep(spec, ResultCache(tmp_path))
+
+    def test_aggregate_shape_and_grouping(self, tmp_path):
+        spec = small_spec()
+        cache = run_serial(spec, tmp_path)
+        aggregate = aggregate_sweep(spec, cache)
+        assert aggregate["schema"] == AGGREGATE_SCHEMA
+        assert aggregate["sweep_digest"] == spec.digest()
+        assert aggregate["cells"] == 4
+        assert len(aggregate["groups"]) == 2  # seed folded out
+        for group in aggregate["groups"]:
+            assert group["seeds"] == [1, 2]
+            for metric in ("utilization", "loss"):
+                cell = group["metrics"][metric]
+                assert cell["n"] == 2
+                assert cell["halfwidth"] >= 0.0
+
+    def test_cache_replay_equals_shard_fed_aggregate(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "queue")
+        run_sweep_worker(spec, cache, "w1", heartbeat_timeout=30.0)
+        via_shards = aggregate_sweep(spec, cache)
+        # Destroy the shards: aggregation must rebuild the identical
+        # rows from the cached records alone (pure cache replay).
+        for path in shard_dir(cache.root).glob("*.jsonl"):
+            path.unlink()
+        via_cache = aggregate_sweep(spec, cache)
+        serial = aggregate_sweep(spec, run_serial(spec, tmp_path / "serial"))
+        dumps = lambda agg: json.dumps(agg, sort_keys=True)
+        assert dumps(via_shards) == dumps(via_cache) == dumps(serial)
+
+    def test_shard_row_missing_metric_is_fatal(self, tmp_path):
+        spec = small_spec()
+        cache = run_serial(spec, tmp_path)
+        [(params, job)] = list(spec.jobs())[:1]
+        append_shard_row(
+            cache.root, spec.digest(), "w1", job.digest(), params, {"loss": 0.0}
+        )
+        with pytest.raises(ConfigurationError, match="lacks metric"):
+            aggregate_sweep(spec, cache)
+
+    def test_write_aggregate_is_canonical_and_atomic(self, tmp_path):
+        spec = small_spec()
+        cache = run_serial(spec, tmp_path)
+        aggregate = aggregate_sweep(spec, cache)
+        out = default_aggregate_path(cache.root, spec)
+        assert write_aggregate(aggregate, out) == out
+        first = out.read_bytes()
+        assert first.endswith(b"\n")
+        write_aggregate(aggregate_sweep(spec, cache), out)
+        assert out.read_bytes() == first
+        assert not list(out.parent.glob("*.tmp.*"))
+
+    def test_default_path_is_digest_keyed(self, tmp_path):
+        spec = small_spec()
+        path = default_aggregate_path(tmp_path, spec)
+        assert path.name == f"{spec.digest()}.json"
+        assert path.parent.name == "aggregates"

@@ -1,0 +1,360 @@
+"""Work-queue runner: claims, reaping, crash-resume, idempotence."""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign.cache import ResultCache
+from repro.experiments.campaign.runner import execute_job
+from repro.experiments.sweep import (
+    CLAIM_SCHEMA,
+    SweepAxis,
+    SweepSpec,
+    aggregate_sweep,
+    append_shard_row,
+    claim_path,
+    metric_row,
+    read_claim,
+    reap_stale_claims,
+    release_claim,
+    run_sweep_worker,
+    scan_claims,
+    scan_queue,
+    shard_dir,
+    shard_path,
+    sweep_status,
+    try_claim,
+    write_aggregate,
+)
+from repro.experiments.sweep.queue import _Heartbeat
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+FAST = {"sim_time": 0.5, "warmup": 0.1}
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        name="queue",
+        axes=(
+            SweepAxis("scheme", ("FIFO_NONE", "FIFO_THRESHOLD")),
+            SweepAxis("seed", (1, 2)),
+        ),
+        base=FAST,
+        metrics=("utilization", "loss"),
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+def age_claim(path, seconds=300.0):
+    """Rewind a claim's mtime so it reads as orphaned (no wall clock)."""
+    stat = os.stat(path)
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+def serial_aggregate_bytes(spec, root):
+    cache = ResultCache(root)
+    for _params, job in spec.jobs():
+        if job.digest() not in cache:
+            cache.put(execute_job(job))
+    out = pathlib.Path(root) / "aggregate.json"
+    write_aggregate(aggregate_sweep(spec, cache), out)
+    return out.read_bytes()
+
+
+def shard_digests(root, spec):
+    """Every digest appended to any shard of this sweep, with repeats."""
+    digests = []
+    for path in sorted(shard_dir(root).glob("*.jsonl")):
+        for line in path.read_text().splitlines():
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue
+            if row.get("sweep") == spec.digest():
+                digests.append(row["digest"])
+    return digests
+
+
+# Module-level so ProcessPoolExecutor can pickle them by reference.
+
+
+def _race_claim(payload):
+    root, digest, owner = payload
+    return owner if try_claim(root, digest, owner) else None
+
+
+def _race_reap(payload):
+    root, timeout = payload
+    return len(reap_stale_claims(root, timeout))
+
+
+class TestClaims:
+    def test_try_claim_is_exclusive_and_carries_owner(self, tmp_path):
+        path = try_claim(tmp_path, "a" * 64, "w1")
+        assert path == claim_path(tmp_path, "a" * 64)
+        assert try_claim(tmp_path, "a" * 64, "w2") is None
+        payload = read_claim(path)
+        assert payload["schema"] == CLAIM_SCHEMA
+        assert payload["owner"] == "w1"
+        assert payload["digest"] == "a" * 64
+        assert payload["pid"] == os.getpid()
+
+    def test_release_is_idempotent(self, tmp_path):
+        path = try_claim(tmp_path, "a" * 64, "w1")
+        release_claim(path)
+        release_claim(path)  # second release: no error
+        assert try_claim(tmp_path, "a" * 64, "w1") is not None
+
+    def test_read_claim_rejects_corrupt_and_foreign(self, tmp_path):
+        bad = tmp_path / "x.claim"
+        bad.write_text("not json")
+        assert read_claim(bad) is None
+        bad.write_text('{"schema": "other-v1"}')
+        assert read_claim(bad) is None
+        assert read_claim(tmp_path / "missing.claim") is None
+
+    def test_scan_classifies_fresh_vs_stale(self, tmp_path):
+        fresh = try_claim(tmp_path, "a" * 64, "w1")
+        stale = try_claim(tmp_path, "b" * 64, "w2")
+        age_claim(stale)
+        claims = {c.digest: c for c in scan_claims(tmp_path, 60.0)}
+        assert not claims["a" * 64].stale
+        assert claims["b" * 64].stale
+        state = scan_queue(tmp_path, 60.0)
+        assert (state.claimed, state.orphaned, state.total) == (1, 1, 2)
+        release_claim(fresh)
+
+    def test_reap_removes_only_stale(self, tmp_path):
+        try_claim(tmp_path, "a" * 64, "w1")
+        stale = try_claim(tmp_path, "b" * 64, "w2")
+        age_claim(stale)
+        assert reap_stale_claims(tmp_path, 60.0) == ["b" * 64]
+        assert claim_path(tmp_path, "a" * 64).exists()
+        assert not stale.exists()
+        assert reap_stale_claims(tmp_path, 60.0) == []
+
+    def test_claim_race_has_exactly_one_winner(self, tmp_path):
+        digest = "c" * 64
+        payloads = [(str(tmp_path), digest, f"w{i}") for i in range(8)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            winners = [w for w in pool.map(_race_claim, payloads) if w]
+        assert len(winners) == 1
+
+    def test_racing_reapers_count_each_claim_exactly_once(self, tmp_path):
+        stale_count = 6
+        for i in range(stale_count):
+            path = try_claim(tmp_path, f"{i:064d}", f"w{i}")
+            age_claim(path)
+        payloads = [(str(tmp_path), 60.0)] * 4
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            counts = list(pool.map(_race_reap, payloads))
+        assert sum(counts) == stale_count
+        assert scan_claims(tmp_path, 60.0) == []
+
+    def test_heartbeat_keeps_claim_fresh(self, tmp_path):
+        path = try_claim(tmp_path, "a" * 64, "w1")
+        age_claim(path, seconds=10.0)
+        before = os.stat(path).st_mtime
+        beat = _Heartbeat(path, interval=0.05)
+        beat.start()
+        time.sleep(0.3)
+        beat.stop()
+        assert os.stat(path).st_mtime > before
+        release_claim(path)
+
+
+class TestWorker:
+    def test_single_worker_completes_the_grid(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        summary = run_sweep_worker(spec, cache, "w1")
+        assert summary.executed == 4
+        assert summary.outstanding == 0
+        assert summary.reaped == 0
+        status = sweep_status(spec, cache)
+        assert status.complete
+        assert (status.completed, status.pending) == (4, 0)
+        assert scan_claims(tmp_path) == []  # all claims released
+        assert len(shard_digests(tmp_path, spec)) == 4
+
+    def test_warm_rerun_is_pure_cache_replay(self, tmp_path):
+        spec = small_spec()
+        run_sweep_worker(spec, ResultCache(tmp_path), "w1")
+        cache = ResultCache(tmp_path)
+        summary = run_sweep_worker(spec, cache, "w2")
+        assert summary.executed == 0
+        assert summary.passes == 1
+        # Lifetime stats record the replay: every cell was a cache hit
+        # (the worker folds its counters into stats.meta on exit).
+        assert cache.persisted_stats()["hits"] == 4
+        assert len(shard_digests(tmp_path, spec)) == 4  # no new rows
+
+    def test_live_peer_claim_is_respected(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        _params, first_job = next(iter(spec.jobs()))
+        peer = try_claim(tmp_path, first_job.digest(), "peer")
+        summary = run_sweep_worker(spec, cache, "w1")
+        assert summary.executed == 3
+        assert summary.outstanding == 1
+        assert peer.exists()  # fresh claims are never reaped
+        release_claim(peer)
+
+    def test_stale_claim_is_reaped_and_cell_executed(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        _params, first_job = next(iter(spec.jobs()))
+        corpse = try_claim(tmp_path, first_job.digest(), "dead")
+        age_claim(corpse)
+        summary = run_sweep_worker(spec, cache, "w1")
+        assert summary.reaped == 1
+        assert summary.executed == 4
+        assert sweep_status(spec, cache).complete
+
+    def test_rejects_nonpositive_timeout(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="must be positive"):
+            run_sweep_worker(
+                small_spec(), ResultCache(tmp_path), heartbeat_timeout=0.0
+            )
+
+    def test_two_concurrent_workers_partition_the_grid(self, tmp_path):
+        spec = small_spec(axes=(SweepAxis("seed", (1, 2, 3, 4, 5, 6)),))
+        summaries = {}
+
+        def work(name):
+            summaries[name] = run_sweep_worker(
+                spec, ResultCache(tmp_path), name, wait=True, poll_interval=0.05
+            )
+
+        threads = [
+            threading.Thread(target=work, args=(name,))
+            for name in ("w1", "w2")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        executed = sum(s.executed for s in summaries.values())
+        assert executed == 6
+        digests = shard_digests(tmp_path, spec)
+        assert len(digests) == 6
+        assert len(set(digests)) == 6  # no cell executed twice
+        assert sweep_status(spec, ResultCache(tmp_path)).complete
+
+
+class TestCrashResume:
+    """Satellite (e): kill after k jobs, resume, byte-identical output."""
+
+    def test_simulated_crash_after_k_jobs_resumes_cleanly(self, tmp_path):
+        spec = small_spec()
+        root = tmp_path / "shared"
+        cache = ResultCache(root)
+        jobs = list(spec.jobs())
+
+        # Worker A completes k=2 cells by hand, claims a third, appends a
+        # torn half-line to its shard (SIGKILL mid-write), and vanishes
+        # without releasing the claim.
+        for params, job in jobs[:2]:
+            claim = try_claim(root, job.digest(), "victim")
+            record = execute_job(job)
+            cache.put(record)
+            append_shard_row(
+                root, spec.digest(), "victim", job.digest(), params,
+                metric_row(spec, params, record),
+            )
+            release_claim(claim)
+        _params, third = jobs[2]
+        corpse = try_claim(root, third.digest(), "victim")
+        with open(shard_path(root, spec.digest(), "victim"), "a") as handle:
+            handle.write('{"schema": "repro-sweep-shard-v1", "dig')
+        age_claim(corpse)
+
+        # Worker B resumes: reaps the corpse exactly once, executes only
+        # the unfinished cells, and the aggregate matches a fresh serial
+        # run byte for byte.
+        resume_cache = ResultCache(root)
+        summary = run_sweep_worker(spec, resume_cache, "rescuer")
+        assert summary.reaped == 1
+        assert summary.executed == 2  # cells 3 and 4 only — no re-runs
+        assert sweep_status(spec, resume_cache).complete
+
+        digests = [d for d in shard_digests(root, spec)]
+        assert len(digests) == 4
+        assert len(set(digests)) == 4  # no duplicate records
+
+        out = root / "resumed.json"
+        write_aggregate(aggregate_sweep(spec, resume_cache), out)
+        assert out.read_bytes() == serial_aggregate_bytes(
+            spec, tmp_path / "serial"
+        )
+
+    def test_sigkilled_cli_worker_resumes_byte_identical(self, tmp_path):
+        spec = small_spec(
+            axes=(SweepAxis("seed", (1, 2, 3, 4, 5, 6)),),
+            base={"sim_time": 4.0, "warmup": 0.5},
+        )
+        root = tmp_path / "shared"
+        spec_file = tmp_path / "sweep.json"
+        spec_file.write_text(json.dumps(spec.to_dict()))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        worker = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "campaign", "sweep", "run",
+                "--spec", str(spec_file), "--cache-dir", str(root),
+                "--owner", "victim",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Kill as soon as the first cell lands in the cache, while
+            # later cells are still running.
+            cache = ResultCache(root)
+            for _ in range(3000):
+                if len(list(cache.entries())) >= 1:
+                    break
+                time.sleep(0.01)
+            worker.send_signal(signal.SIGKILL)
+            worker.wait(timeout=30)
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+                worker.wait(timeout=30)
+
+        # Whatever claim the victim held goes stale; pre-age it rather
+        # than sleeping out the heartbeat timeout.
+        for claim in root.glob("*.claim"):
+            age_claim(claim)
+
+        resume_cache = ResultCache(root)
+        summary = run_sweep_worker(spec, resume_cache, "rescuer")
+        assert summary.outstanding == 0
+        assert sweep_status(spec, resume_cache).complete
+        # Every shard row belongs to the grid.  A victim killed between
+        # cache.put and its shard append leaves a cell with no row at
+        # all (served from the cache at aggregation time), and one
+        # killed between the append and the claim release leaves a
+        # duplicate row (collapsed by the reader) — so neither exact
+        # coverage nor strict uniqueness can be asserted here; the
+        # byte-identity check below is the real invariant.
+        digests = shard_digests(root, spec)
+        assert set(digests) <= {job.digest() for _p, job in spec.jobs()}
+
+        out = root / "resumed.json"
+        write_aggregate(aggregate_sweep(spec, resume_cache), out)
+        assert out.read_bytes() == serial_aggregate_bytes(
+            spec, tmp_path / "serial"
+        )
