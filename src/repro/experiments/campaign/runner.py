@@ -81,10 +81,8 @@ def execute_job(job):
     # repro: noqa RPR101 — telemetry measures real wall time, never sim state
     start = time.perf_counter()
     if isinstance(job, NetworkJob):
-        record = NetworkRecord.from_result(
-            run_fabric(job.scenario, timeline=timeline, monitor=monitor),
-            job.digest(),
-        )
+        result = run_fabric(job.scenario, timeline=timeline, monitor=monitor)
+        record = NetworkRecord.from_result(result, job.digest())
     else:
         result = run_scenario(
             job.flows, job.scheme, job.buffer_size,
@@ -102,6 +100,12 @@ def execute_job(job):
             events=record.events_processed,
             cache_hit=False,
             worker=os.getpid(),
+            # Both result families carry the engine's execution stats
+            # (outside their serialized forms, so record digests stay
+            # backend-independent).
+            equeue=result.equeue,
+            cancelled_pending=result.cancelled_pending,
+            compactions=result.compactions,
         ),
         timeline_summary=None if timeline is None else timeline.summary(),
         monitor=None if monitor is None else monitor.last_report,

@@ -43,6 +43,7 @@ from repro.obs.monitor import MonitorReport
 from repro.obs.sink import TeeSink
 from repro.sim.engine import Simulator
 from repro.sim.port import OutputPort
+from repro.traffic.batched import BatchedOnOffSource, batched_pipeline_enabled
 from repro.traffic.shaper import LeakyBucketShaper
 from repro.traffic.sources import OnOffSource
 
@@ -84,6 +85,12 @@ class FabricResult:
 
     scenario: NetworkScenario
     events_processed: int
+    #: Engine execution stats for telemetry: which event-queue backend
+    #: ran the simulation and its end-of-run lazy-deletion counters.
+    #: Execution detail, not measurement — never serialized into records.
+    equeue: str = "heap"
+    cancelled_pending: int = 0
+    compactions: int = 0
     links: dict[str, LinkResult] = field(default_factory=dict)
     delivery: DeliverySink | None = None
     delivery_collector: StatsCollector | None = None
@@ -251,7 +258,7 @@ def _run_single_port(
     flows = tuple(routed.spec for routed in scenario.flows)
     warmup = scenario.effective_warmup
 
-    sim = Simulator()
+    sim = Simulator(equeue=scenario.equeue)
     build: SchemeBuild = build_scheme(
         sim,
         node.scheme,
@@ -295,8 +302,28 @@ def _run_single_port(
 
     seed_seq = np.random.SeedSequence(scenario.seed)
     child_seqs = seed_seq.spawn(len(flows))
+    # Off by default: REPRO_BATCHED swaps the scalar source/shaper
+    # chains for block replay (repro.traffic.batched).  A different —
+    # equally valid — random stream, so the equivalence goldens only
+    # cover the scalar path.
+    batched = batched_pipeline_enabled()
     for flow, child in zip(flows, child_seqs):
-        rng = np.random.default_rng(child)
+        # One generator per flow, constructed in whichever branch runs —
+        # the branches are exclusive, so no stream is ever shared.
+        if batched:
+            BatchedOnOffSource(
+                sim,
+                flow.flow_id,
+                flow.peak_rate,
+                flow.avg_rate,
+                flow.mean_burst,
+                port,
+                np.random.default_rng(child),
+                until=scenario.sim_time,
+                shaping=(flow.bucket, flow.token_rate) if flow.conformant else None,
+                packet_size=scenario.packet_size,
+            )
+            continue
         destination = port
         if flow.conformant:
             destination = LeakyBucketShaper(sim, flow.bucket, flow.token_rate, port)
@@ -307,7 +334,7 @@ def _run_single_port(
             flow.avg_rate,
             flow.mean_burst,
             destination,
-            rng,
+            np.random.default_rng(child),
             packet_size=scenario.packet_size,
             until=scenario.sim_time,
         )
@@ -327,6 +354,9 @@ def _run_single_port(
         queue_buffers=build.queue_buffers,
         events_processed=sim.events_processed,
         collector=collector,
+        equeue=sim.equeue_backend,
+        cancelled_pending=sim.cancelled_pending,
+        compactions=sim.compactions,
     )
     # Flows that never got a packet through still deserve an entry.
     for flow in flows:
@@ -335,6 +365,9 @@ def _run_single_port(
     return FabricResult(
         scenario=scenario,
         events_processed=sim.events_processed,
+        equeue=sim.equeue_backend,
+        cancelled_pending=sim.cancelled_pending,
+        compactions=sim.compactions,
         links={
             link.label: LinkResult(
                 label=link.label,
@@ -360,7 +393,7 @@ def _run_network(
 ) -> FabricResult:
     """The general path: materialise the topology and route flows."""
     warmup = scenario.effective_warmup
-    sim = Simulator()
+    sim = Simulator(equeue=scenario.equeue)
     delivery_collector = StatsCollector(
         warmup=warmup, delay_histograms=scenario.delay_histograms
     )
@@ -532,6 +565,9 @@ def _run_network(
     return FabricResult(
         scenario=scenario,
         events_processed=sim.events_processed,
+        equeue=sim.equeue_backend,
+        cancelled_pending=sim.cancelled_pending,
+        compactions=sim.compactions,
         links=links,
         delivery=delivery,
         delivery_collector=delivery_collector,

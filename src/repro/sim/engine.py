@@ -1,13 +1,22 @@
 """Discrete-event simulation engine.
 
-A deliberately small, fast core: a binary heap of ``(time, sequence,
-callback, args, handle)`` entries.  The sequence number breaks ties so
-that events scheduled for the same instant fire in scheduling order,
-which makes runs deterministic for a given seed.  The ``handle`` slot is
-an :class:`Event` for cancellable events and ``None`` for events
-scheduled through the :meth:`Simulator.schedule_fast` hot path — the
-per-packet traffic of a simulation never cancels, so it never pays for
-the allocation of a cancellation handle.
+A deliberately small, fast core: the :class:`Simulator` owns the clock,
+the shared sequence counter and the scheduling API, and delegates event
+*storage* to a pluggable :class:`~repro.sim.equeue.EventQueue` backend.
+Entries are ``(time, sequence, callback, args, handle)`` tuples: the
+sequence number breaks ties so that events scheduled for the same
+instant fire in scheduling order, which makes runs deterministic for a
+given seed — whichever backend holds them.  The ``handle`` slot is an
+:class:`Event` for cancellable events and ``None`` for events scheduled
+through the :meth:`Simulator.schedule_fast` hot path — the per-packet
+traffic of a simulation never cancels, so it never pays for the
+allocation of a cancellation handle.
+
+Two backends ship (see :mod:`repro.sim.equeue`): the default lazy-delete
+binary heap, and an opt-in calendar queue that wins by integer factors
+on large, churning pending populations.  Select one with
+``Simulator(equeue="calendar")`` or the ``REPRO_EQUEUE`` environment
+variable; both produce byte-identical measurement records.
 
 Components (sources, shapers, ports) hold a reference to the
 :class:`Simulator` and schedule their own callbacks; there is no global
@@ -16,12 +25,11 @@ registry.  The engine knows nothing about packets or networking.
 
 from __future__ import annotations
 
-import heapq
 from math import inf
 from typing import Any, Callable
 
 from repro.errors import SimulationError
-from repro.obs.events import HeapCompactEvent
+from repro.sim.equeue import EventQueue, resolve_equeue
 
 __all__ = ["Event", "Simulator"]
 
@@ -31,14 +39,13 @@ class Event:
 
     Returned by :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`;
     the only supported operation is :meth:`cancel`.  Cancelled events stay
-    in the heap but are skipped when popped (lazy deletion); the simulator
-    purges them wholesale once they dominate the heap (see
-    :meth:`Simulator._compact`).  Events scheduled via
-    :meth:`Simulator.schedule_fast` have no handle and cannot be
-    cancelled.
+    queued but are skipped when reached (lazy deletion); the backend
+    purges them wholesale once they dominate the pending population.
+    Events scheduled via :meth:`Simulator.schedule_fast` have no handle
+    and cannot be cancelled.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
+    __slots__ = ("time", "fn", "args", "cancelled", "fired", "_sim")
 
     def __init__(
         self, time: float, fn: Callable[..., Any], args: tuple, sim: "Simulator | None" = None
@@ -47,18 +54,26 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
         self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Idempotent."""
-        if self.cancelled:
+        """Prevent the event from firing. Idempotent.
+
+        Cancelling an event that has already fired is a no-op: the entry
+        left the queue when it fired, so counting it as cancelled-pending
+        would leak phantom weight into the compaction trigger (teardown
+        code routinely cancels timers without knowing whether they beat
+        it to the clock).
+        """
+        if self.cancelled or self.fired:
             return
         self.cancelled = True
         if self._sim is not None:
             self._sim._note_cancelled()
 
     def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"Event(t={self.time:.6f}, fn={name}, {state})"
 
@@ -68,9 +83,14 @@ class Simulator:
 
     Usage::
 
-        sim = Simulator()
+        sim = Simulator()                      # default binary heap
+        sim = Simulator(equeue="calendar")     # calendar-queue backend
         sim.schedule(1.0, callback, arg1, arg2)
         sim.run(until=10.0)
+
+    ``equeue`` accepts a backend name (``"heap"``/``"calendar"``), a
+    ready :class:`~repro.sim.equeue.EventQueue` instance, or ``None`` to
+    consult ``REPRO_EQUEUE`` and default to the heap.
 
     Hot paths that never cancel (per-packet emissions, transmission
     completions) should use :meth:`schedule_fast`, which skips the
@@ -79,26 +99,37 @@ class Simulator:
 
     __slots__ = (
         "now",
-        "_heap",
+        "_equeue",
+        "_push",
         "_seq",
         "_events_processed",
-        "_cancelled",
-        "_compactions",
         "_sink",
     )
 
-    #: Smallest heap worth compacting; below this lazy deletion is cheaper
-    #: than a rebuild.
+    #: Smallest pending population worth compacting; below this lazy
+    #: deletion is cheaper than a rebuild.  (Kept here for backward
+    #: compatibility; the authoritative constant lives in
+    #: :data:`repro.sim.equeue.COMPACT_MIN_PENDING`.)
     COMPACT_MIN_HEAP = 64
 
-    def __init__(self) -> None:
+    def __init__(self, equeue: "str | EventQueue | None" = None) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple] = []
+        self._equeue = resolve_equeue(equeue)
+        self._equeue.bind(self)
+        self._push = self._equeue.raw_push()
         self._seq: int = 0
         self._events_processed: int = 0
-        self._cancelled: int = 0
-        self._compactions: int = 0
         self._sink = None
+
+    @property
+    def equeue(self) -> EventQueue:
+        """The live event-queue backend (counters, tuning knobs)."""
+        return self._equeue
+
+    @property
+    def equeue_backend(self) -> str:
+        """Registry name of the active backend (``"heap"``/``"calendar"``)."""
+        return self._equeue.backend
 
     @property
     def events_processed(self) -> int:
@@ -107,24 +138,25 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap, including cancelled ones."""
-        return len(self._heap)
+        """Number of events still queued, including cancelled ones."""
+        return len(self._equeue)
 
     @property
     def cancelled_pending(self) -> int:
-        """Cancelled events still occupying heap slots."""
-        return self._cancelled
+        """Cancelled events still occupying queue slots."""
+        return self._equeue.cancelled_pending
 
     @property
     def compactions(self) -> int:
-        """Times the heap was rebuilt to purge cancelled events."""
-        return self._compactions
+        """Times the queue was rebuilt to purge cancelled events."""
+        return self._equeue.compactions
 
     def attach_trace(self, sink) -> None:
-        """Emit engine events (heap compactions) into ``sink``.
+        """Emit engine events (compactions, bucket resizes) into ``sink``.
 
         Pass ``None`` to detach.  Untraced simulators pay a single
-        ``is not None`` check per compaction and nothing per event.
+        ``is not None`` check per housekeeping action and nothing per
+        event.
         """
         self._sink = sink
 
@@ -132,56 +164,37 @@ class Simulator:
         """Expose the engine's counters through a metrics registry.
 
         Callback gauges sample the live attributes at snapshot time, so
-        the event loop keeps its plain-int hot path.
+        the event loop keeps its plain-int hot path.  ``sim.equeue``
+        reports the backend as its registry index (0 = heap,
+        1 = calendar — the order of
+        :data:`repro.sim.equeue.EQUEUE_BACKENDS`); backend-specific
+        gauges (calendar bucket width/resizes) register alongside.
         """
+        from repro.sim.equeue import EQUEUE_BACKENDS
+
+        equeue = self._equeue
+        backend_index = float(list(EQUEUE_BACKENDS).index(equeue.backend))
         registry.gauge_callback(
             "sim.events_processed", lambda: self._events_processed, **labels
         )
-        registry.gauge_callback("sim.pending", lambda: len(self._heap), **labels)
+        registry.gauge_callback("sim.pending", lambda: len(equeue), **labels)
         registry.gauge_callback(
-            "sim.cancelled_pending", lambda: self._cancelled, **labels
+            "sim.cancelled_pending", lambda: equeue.cancelled_pending, **labels
         )
-        registry.gauge_callback("sim.compactions", lambda: self._compactions, **labels)
+        registry.gauge_callback("sim.compactions", lambda: equeue.compactions, **labels)
         registry.gauge_callback("sim.now", lambda: self.now, **labels)
+        registry.gauge_callback("sim.equeue", lambda: backend_index, **labels)
+        equeue.register_metrics(registry, **labels)
 
     def _note_cancelled(self) -> None:
         """Bookkeeping hook called by :meth:`Event.cancel`.
 
-        Cancel-heavy workloads (shapers, adaptive managers) would otherwise
-        grow the heap without bound: lazily-deleted events are only
-        reclaimed when their time is reached.  Once more than half of a
-        non-trivial heap is dead weight, rebuilding it is O(live) and wins
-        immediately.
+        Cancel-heavy workloads (shapers, adaptive managers) would
+        otherwise grow the queue without bound: lazily-deleted events are
+        only reclaimed when their time is reached.  The backend compacts
+        once more than half of a non-trivial population is dead weight.
         """
-        self._cancelled += 1
-        heap_size = len(self._heap)
-        if heap_size >= self.COMPACT_MIN_HEAP and self._cancelled * 2 > heap_size:
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify the survivors.
-
-        The ``(time, seq)`` keys of live entries are untouched, so firing
-        order is exactly what lazy deletion would have produced.  The list
-        is rebuilt in place: ``run``/``step`` hold a local alias to it and
-        a cancel can arrive from a callback mid-loop.
-        """
-        before = len(self._heap)
-        self._heap[:] = [
-            entry for entry in self._heap
-            if entry[4] is None or not entry[4].cancelled
-        ]
-        heapq.heapify(self._heap)
-        self._cancelled = 0
-        self._compactions += 1
-        if self._sink is not None:
-            self._sink.emit(
-                HeapCompactEvent(
-                    time=self.now,
-                    removed=before - len(self._heap),
-                    remaining=len(self._heap),
-                )
-            )
+        self._equeue.note_cancelled()
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -195,7 +208,7 @@ class Simulator:
             )
         event = Event(time, fn, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn, args, event))
+        self._push((time, self._seq, fn, args, event))
         return event
 
     def schedule_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
@@ -213,35 +226,19 @@ class Simulator:
                 f"cannot schedule event at t={time} before current time t={self.now}"
             )
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn, args, None))
-
-    def _pop_live(self) -> tuple | None:
-        """Pop heap entries until a live one is found.
-
-        Shared drain used by :meth:`step` and the :meth:`run` slow path:
-        cancelled entries are discarded (rebalancing the
-        ``cancelled_pending`` counter) and the first live entry is
-        returned un-fired, or ``None`` when the heap empties.
-        """
-        heap = self._heap
-        while heap:
-            entry = heapq.heappop(heap)
-            event = entry[4]
-            if event is not None and event.cancelled:
-                if self._cancelled:
-                    self._cancelled -= 1
-                continue
-            return entry
-        return None
+        self._push((time, self._seq, fn, args, None))
 
     def step(self) -> bool:
         """Fire the next pending event.
 
-        Returns ``False`` when the heap is empty, ``True`` otherwise.
+        Returns ``False`` when the queue is empty, ``True`` otherwise.
         """
-        entry = self._pop_live()
+        entry = self._equeue.pop_live()
         if entry is None:
             return False
+        event = entry[4]
+        if event is not None:
+            event.fired = True
         self.now = entry[0]
         self._events_processed += 1
         entry[2](*entry[3])
@@ -253,37 +250,19 @@ class Simulator:
         Args:
             until: stop once the clock would pass this time; the clock is
                 left at ``until`` so measurement windows have an exact end.
-                ``None`` runs until the heap drains.
+                ``None`` runs until the queue drains.
             max_events: optional safety valve for tests; raises
                 :class:`SimulationError` when exceeded.
 
-        The loop pops each entry exactly once.  An entry beyond ``until``
-        (at most one per call) is pushed back with its original
-        ``(time, seq)`` key, so firing order across resumed runs is
-        unchanged.  Handle-free entries (:meth:`schedule_fast`) skip the
-        cancelled-event branch entirely.
+        The loop consumes each entry exactly once.  An entry beyond
+        ``until`` is left queued under its original ``(time, seq)`` key,
+        so firing order across resumed runs is unchanged — as are the
+        ``cancelled_pending``/``compactions`` counters, which live on the
+        backend and are never reset by an overshoot.  Handle-free entries
+        (:meth:`schedule_fast`) skip the cancelled-event branch entirely.
         """
-        heap = self._heap
-        heappop = heapq.heappop
         stop = inf if until is None else until
         limit = inf if max_events is None else max_events
-        fired = 0
-        while heap:
-            entry = heappop(heap)
-            event = entry[4]
-            if event is not None and event.cancelled:
-                if self._cancelled:
-                    self._cancelled -= 1
-                continue
-            time = entry[0]
-            if time > stop:
-                heapq.heappush(heap, entry)
-                break
-            self.now = time
-            self._events_processed += 1
-            entry[2](*entry[3])
-            fired += 1
-            if fired > limit:
-                raise SimulationError(f"exceeded max_events={max_events}")
+        self._equeue.drain(self, stop, limit, max_events)
         if until is not None and self.now < until:
             self.now = until

@@ -24,9 +24,13 @@ def _case(name="c", wall=1.0, spread=0.0, digest="abc", events=1000):
     )
 
 
-def _baseline(*cases):
+def _baseline(*cases, backend="heap"):
     return BenchBaseline(
-        host_tag="t", python="3.11.0", platform="Linux-x86_64", cases=cases
+        host_tag="t",
+        python="3.11.0",
+        platform="Linux-x86_64",
+        cases=cases,
+        backend=backend,
     )
 
 
@@ -84,6 +88,30 @@ class TestVerdicts:
     def test_new_case_never_fails_the_gate(self):
         report = compare_baselines(
             _baseline(_case("a")), _baseline(_case("a"), _case("b"))
+        )
+        assert report.passed
+
+    def test_backend_mismatch_marks_every_case_stale(self):
+        report = compare_baselines(
+            _baseline(_case("a"), _case("b"), backend="heap"),
+            _baseline(_case("a", wall=0.5), backend="calendar"),
+        )
+        statuses = {c.name: c.status for c in report.comparisons}
+        assert statuses == {
+            "a": "mismatched-backend",
+            "b": "mismatched-backend",
+        }
+        assert not report.passed
+        assert report.stale and not report.regressions
+        # The fresh side's numbers are still surfaced where available.
+        by_name = {c.name: c for c in report.comparisons}
+        assert by_name["a"].fresh_eps is not None
+        assert by_name["b"].fresh_eps is None
+
+    def test_same_nondefault_backend_compares_normally(self):
+        report = compare_baselines(
+            _baseline(_case(), backend="calendar"),
+            _baseline(_case(), backend="calendar"),
         )
         assert report.passed
 

@@ -143,4 +143,5 @@ class TestScenarioKwargs:
         assert set(kwargs) == {
             "link_rate", "sim_time", "warmup", "seed", "headroom",
             "groups", "packet_size", "delay_histograms", "max_events",
+            "equeue",
         }

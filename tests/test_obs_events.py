@@ -65,6 +65,7 @@ class TestVocabulary:
             "threshold",
             "headroom",
             "compact",
+            "bucket-resize",
             "reprovision",
             "pool",
             "sample",
